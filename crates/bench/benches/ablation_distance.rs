@@ -1,0 +1,87 @@
+//! Ablation: the choice of distortion distance (Definition 1 names EMD,
+//! KL divergence, and Mahalanobis). This bench measures both *cost* and —
+//! via stderr output — *discrimination*: how each metric separates a
+//! distribution-preserving repair from a distribution-destroying one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sd_core::{statistical_distortion, DistortionMetric};
+use sd_data::Dataset;
+use sd_emd::DistanceScaling;
+use sd_netsim::{generate, NetsimConfig};
+use sd_stats::AttributeTransform;
+use std::hint::black_box;
+
+/// A repair that preserves shape: clamps only the top 0.1 % of loads.
+fn gentle_repair(data: &Dataset) -> Dataset {
+    let mut out = data.clone();
+    let pooled = data.pooled_attribute(0);
+    let cap = sd_stats::quantile(&pooled, 0.999).unwrap_or(f64::INFINITY);
+    for s in out.series_mut() {
+        s.map_attribute_in_place(0, |x| x.min(cap));
+    }
+    out
+}
+
+/// A repair that destroys shape: every load becomes the global mean.
+fn destructive_repair(data: &Dataset) -> Dataset {
+    let mut out = data.clone();
+    let pooled = data.pooled_attribute(0);
+    let mean = pooled.iter().sum::<f64>() / pooled.len().max(1) as f64;
+    for s in out.series_mut() {
+        s.map_attribute_in_place(0, |_| mean);
+    }
+    out
+}
+
+fn metrics() -> Vec<(&'static str, DistortionMetric)> {
+    vec![
+        (
+            "emd_bins6",
+            DistortionMetric::Emd {
+                bins: 6,
+                scaling: DistanceScaling::Normalized,
+            },
+        ),
+        (
+            "emd_bins10",
+            DistortionMetric::Emd {
+                bins: 10,
+                scaling: DistanceScaling::Normalized,
+            },
+        ),
+        ("kl_bins6", DistortionMetric::KlDivergence { bins: 6 }),
+        ("mahalanobis", DistortionMetric::Mahalanobis),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(21)).dataset;
+    let dirty = data.subset(&(0..50).collect::<Vec<_>>());
+    let gentle = gentle_repair(&dirty);
+    let destructive = destructive_repair(&dirty);
+    let tf = vec![AttributeTransform::Identity; 3];
+
+    // Report discrimination ratios once, outside the timing loops.
+    eprintln!("\n== distortion-metric discrimination (destructive / gentle) ==");
+    for (label, metric) in metrics() {
+        let d_gentle = statistical_distortion(&dirty, &gentle, &tf, metric).unwrap();
+        let d_destr = statistical_distortion(&dirty, &destructive, &tf, metric).unwrap();
+        let ratio = if d_gentle > 0.0 { d_destr / d_gentle } else { f64::INFINITY };
+        eprintln!("{label:<12} gentle {d_gentle:.5}  destructive {d_destr:.5}  ratio {ratio:.1}");
+    }
+
+    let mut group = c.benchmark_group("distortion_metric_cost");
+    group.sample_size(20);
+    for (label, metric) in metrics() {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                statistical_distortion(black_box(&dirty), black_box(&gentle), &tf, metric)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the cleaning strategies: per-strategy cost on
+//! one replication sample, plus the EM imputation-model fit alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_cleaning::{paper_strategy, CleaningStrategy, MvnImputer};
+use sd_core::{Experiment, ExperimentConfig};
+use sd_netsim::{generate, NetsimConfig};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(3)).dataset;
+    let mut config = ExperimentConfig::paper_default(30, 5);
+    config.replications = 1;
+    let prepared = Experiment::new(config.clone()).prepare(&data).unwrap();
+    let artifacts = prepared.replication(0);
+
+    let mut group = c.benchmark_group("strategy_clean_30_series");
+    for k in 1..=5u32 {
+        let strategy = paper_strategy(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut cleaned = artifacts.dirty.clone();
+                let mut rng = StdRng::seed_from_u64(9);
+                strategy.clean(
+                    black_box(&mut cleaned),
+                    &artifacts.dirty_matrices,
+                    &artifacts.context,
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_em_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvn_imputer_fit");
+    for rows in [1_000usize, 5_000] {
+        // Correlated rows with a 20 % missing pattern.
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 10.0 + 50.0;
+                let y = 0.5 * x + (i as f64 * 0.11).cos();
+                let z = if i % 5 == 0 { f64::NAN } else { 0.9 + 0.01 * (i % 7) as f64 };
+                vec![x, y, z]
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bench, _| {
+            bench.iter(|| MvnImputer::fit(black_box(&data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_impute_throughput(c: &mut Criterion) {
+    let data: Vec<Vec<f64>> = (0..2_000)
+        .map(|i| {
+            let x = (i as f64 * 0.37).sin() * 10.0 + 50.0;
+            vec![x, 0.5 * x, 0.9]
+        })
+        .collect();
+    let imputer = MvnImputer::fit(&data).unwrap();
+    c.bench_function("impute_record", |bench| {
+        let mut rng = StdRng::seed_from_u64(4);
+        bench.iter(|| {
+            let mut record = [f64::NAN, 25.0, f64::NAN];
+            imputer.impute_record(black_box(&mut record), &mut rng)
+        });
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_em_fit, bench_impute_throughput);
+criterion_main!(benches);

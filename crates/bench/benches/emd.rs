@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the EMD engine: exact 1-D closed form,
+//! transportation simplex, min-cost flow, Sinkhorn, and the end-to-end
+//! grid pipeline, swept over signature sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_emd::{
+    emd_1d_samples, ground_distance_matrix, sinkhorn, MinCostFlow, SinkhornParams,
+    TransportProblem,
+};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random stream.
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    }
+}
+
+fn instance(n: usize, m: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut next = lcg(seed);
+    let mut supply: Vec<f64> = (0..n).map(|_| 0.05 + next()).collect();
+    let mut demand: Vec<f64> = (0..m).map(|_| 0.05 + next()).collect();
+    let st: f64 = supply.iter().sum();
+    let dt: f64 = demand.iter().sum();
+    supply.iter_mut().for_each(|x| *x /= st);
+    demand.iter_mut().for_each(|x| *x /= dt);
+    let cost: Vec<f64> = (0..n * m).map(|_| next() * 10.0).collect();
+    (supply, demand, cost)
+}
+
+fn bench_emd_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_1d_samples");
+    for size in [100usize, 1_000, 10_000] {
+        let mut next = lcg(7);
+        let a: Vec<f64> = (0..size).map(|_| next() * 100.0).collect();
+        let b: Vec<f64> = (0..size).map(|_| next() * 100.0 + 5.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| emd_1d_samples(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_solvers");
+    for size in [16usize, 64, 128] {
+        let (s, d, cost) = instance(size, size, 11);
+        group.bench_with_input(BenchmarkId::new("simplex", size), &size, |bench, _| {
+            bench.iter(|| {
+                TransportProblem::new(s.clone(), d.clone(), cost.clone())
+                    .unwrap()
+                    .solve()
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flow", size), &size, |bench, _| {
+            bench.iter(|| {
+                MinCostFlow::new(s.clone(), d.clone(), cost.clone())
+                    .unwrap()
+                    .solve()
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sinkhorn", size), &size, |bench, _| {
+            bench.iter(|| {
+                sinkhorn(
+                    black_box(&s),
+                    black_box(&d),
+                    black_box(&cost),
+                    SinkhornParams {
+                        regularization: 0.1,
+                        max_iterations: 50_000,
+                        tolerance: 1e-6,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_emd");
+    for points in [1_000usize, 10_000] {
+        let mut next = lcg(13);
+        let a: Vec<Vec<f64>> = (0..points)
+            .map(|_| vec![next() * 100.0, next() * 10.0, next()])
+            .collect();
+        let b: Vec<Vec<f64>> = (0..points)
+            .map(|_| vec![next() * 100.0 + 10.0, next() * 10.0, next()])
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |bench, _| {
+            bench.iter(|| {
+                sd_emd::GridEmd::new(6)
+                    .distance(black_box(&a), black_box(&b))
+                    .unwrap()
+                    .emd
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_matrix(c: &mut Criterion) {
+    let mut next = lcg(17);
+    let a: Vec<Vec<f64>> = (0..256).map(|_| vec![next(), next(), next()]).collect();
+    let b: Vec<Vec<f64>> = (0..256).map(|_| vec![next(), next(), next()]).collect();
+    c.bench_function("ground_distance_matrix_256x256", |bench| {
+        bench.iter(|| ground_distance_matrix(black_box(&a), black_box(&b)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_emd_1d,
+    bench_solvers,
+    bench_grid_pipeline,
+    bench_cost_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the end-to-end framework: one full replication
+//! evaluation (sample → detect → clean → re-detect → distortion) per
+//! strategy, and the distortion computation alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_cleaning::paper_strategy;
+use sd_core::{statistical_distortion, DistortionMetric, Experiment, ExperimentConfig};
+use sd_netsim::{generate, NetsimConfig};
+use sd_stats::AttributeTransform;
+use std::hint::black_box;
+
+fn bench_replication_evaluation(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(3)).dataset;
+    let mut config = ExperimentConfig::paper_default(25, 5);
+    config.replications = 1;
+    let prepared = Experiment::new(config).prepare(&data).unwrap();
+    let artifacts = prepared.replication(0);
+
+    let mut group = c.benchmark_group("evaluate_strategy_25_series");
+    group.sample_size(20);
+    for k in [1u32, 3, 4] {
+        let strategy = paper_strategy(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                prepared
+                    .evaluate(black_box(&artifacts), &strategy, k as usize)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distortion_metrics(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(9)).dataset;
+    let dirty = data.subset(&(0..40).collect::<Vec<_>>());
+    let mut cleaned = dirty.clone();
+    // Perturb: clamp the load attribute.
+    for s in cleaned.series_mut() {
+        s.map_attribute_in_place(0, |x| x.min(500.0));
+    }
+    let tf = vec![AttributeTransform::Identity; 3];
+
+    let mut group = c.benchmark_group("statistical_distortion_40_series");
+    group.sample_size(20);
+    for (label, metric) in [
+        ("emd6", DistortionMetric::paper_default()),
+        ("kl6", DistortionMetric::KlDivergence { bins: 6 }),
+        ("mahalanobis", DistortionMetric::Mahalanobis),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                statistical_distortion(black_box(&dirty), black_box(&cleaned), &tf, metric)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_generate");
+    group.sample_size(10);
+    group.bench_function("100_series_x60", |bench| {
+        bench.iter(|| generate(black_box(&NetsimConfig::small(11))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replication_evaluation,
+    bench_distortion_metrics,
+    bench_generation
+);
+criterion_main!(benches);

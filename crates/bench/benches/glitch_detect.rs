@@ -1,0 +1,73 @@
+//! Criterion benchmarks for glitch detection throughput: the three
+//! detectors over generated telemetry, plus glitch-index scoring and
+//! ideal-partition identification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_core::partition_ideal;
+use sd_glitch::{ConstraintSet, GlitchDetector, GlitchIndex, GlitchWeights, OutlierDetector};
+use sd_netsim::{generate, NetsimConfig};
+use sd_stats::AttributeTransform;
+use std::hint::black_box;
+
+fn transforms() -> Vec<AttributeTransform> {
+    vec![
+        AttributeTransform::log(),
+        AttributeTransform::Identity,
+        AttributeTransform::Identity,
+    ]
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(3)).dataset;
+    let constraints = ConstraintSet::paper_rules(0, 2);
+    let tf = transforms();
+    let partition = partition_ideal(&data, &constraints, &tf, 3.0, 0.05).unwrap();
+    let ideal = partition.ideal_dataset(&data);
+    let detector = GlitchDetector::new(
+        constraints.clone(),
+        Some(OutlierDetector::fit(&ideal, &tf, 3.0)),
+    );
+    let mut group = c.benchmark_group("detect_dataset");
+    for series in [10usize, 50, 100] {
+        let subset = data.subset(&(0..series).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::from_parameter(series), &series, |bench, _| {
+            bench.iter(|| detector.detect_dataset(black_box(&subset)));
+        });
+    }
+    group.finish();
+
+    let record = [100.0, 20.0, f64::NAN];
+    c.bench_function("constraint_violations_per_record", |bench| {
+        bench.iter(|| constraints.violations(black_box(&record)));
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(5)).dataset;
+    let constraints = ConstraintSet::paper_rules(0, 2);
+    let tf = transforms();
+    let partition = partition_ideal(&data, &constraints, &tf, 3.0, 0.05).unwrap();
+    let ideal = partition.ideal_dataset(&data);
+    let detector =
+        GlitchDetector::new(constraints, Some(OutlierDetector::fit(&ideal, &tf, 3.0)));
+    let matrices = detector.detect_dataset(&data);
+    let index = GlitchIndex::new(GlitchWeights::paper());
+    c.bench_function("glitch_index_100_series", |bench| {
+        bench.iter(|| index.dataset_score(black_box(&matrices)));
+    });
+    c.bench_function("rank_dirtiest_100_series", |bench| {
+        bench.iter(|| index.rank_dirtiest(black_box(&matrices)));
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(7)).dataset;
+    let constraints = ConstraintSet::paper_rules(0, 2);
+    let tf = transforms();
+    c.bench_function("partition_ideal_100_series", |bench| {
+        bench.iter(|| partition_ideal(black_box(&data), &constraints, &tf, 3.0, 0.05).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_detection, bench_scoring, bench_partition);
+criterion_main!(benches);

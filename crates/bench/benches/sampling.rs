@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the sampling substrate: replication pairs,
+//! weighted alias sampling, bottom-k sketches, priority and reservoir
+//! samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_netsim::{generate, NetsimConfig};
+use sd_sampling::{
+    BottomKSketch, PrioritySampler, ReplicationSampler, ReservoirSampler, WeightedSampler,
+};
+use std::hint::black_box;
+
+fn bench_replication(c: &mut Criterion) {
+    let data = generate(&NetsimConfig::small(3)).dataset;
+    let mut group = c.benchmark_group("replication_sample_pair");
+    for b in [20usize, 100] {
+        let sampler = ReplicationSampler::new(b, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                i += 1;
+                sampler.sample_pair(black_box(&data), black_box(&data), i)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let weights: Vec<f64> = (0..10_000).map(|i| 1.0 + (i % 13) as f64).collect();
+    c.bench_function("alias_table_build_10k", |bench| {
+        bench.iter(|| WeightedSampler::new(black_box(&weights)));
+    });
+    let sampler = WeightedSampler::new(&weights);
+    c.bench_function("alias_draw", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| sampler.sample(&mut rng));
+    });
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sketches_100k_items");
+    group.bench_function("bottom_k_256", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut sketch = BottomKSketch::new(256);
+            for i in 0..100_000u64 {
+                sketch.offer(i, 1.0 + (i % 7) as f64, &mut rng);
+            }
+            sketch.estimate_subset_sum(|&i| i % 2 == 0)
+        });
+    });
+    group.bench_function("priority_256", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut sampler = PrioritySampler::new(256);
+            for i in 0..100_000u64 {
+                sampler.offer(i, 1.0 + (i % 7) as f64, &mut rng);
+            }
+            sampler.estimate_subset_sum(|&i| i % 2 == 0)
+        });
+    });
+    group.bench_function("reservoir_256", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut sampler = ReservoirSampler::new(256);
+            for i in 0..100_000u64 {
+                sampler.offer(i, &mut rng);
+            }
+            sampler.sample().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication, bench_weighted, bench_sketches);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Figure 4 reproduction: Attribute 1 untreated vs. treated under
+//! Strategy 1, (a) without and (b) with the log transformation.
+//!
+//! The paper's reading: gray points near the Y axis are imputed missing
+//! values; the diagonal is untouched data; horizontal bands are winsorized
+//! values whose level varies with the replication's 3-σ limits. Without the
+//! log transform the Gaussian imputer emits *negative* loads (new
+//! inconsistencies); with it, the lower tail is winsorized instead of the
+//! upper.
+//!
+//! ```text
+//! SD_SCALE=harness cargo run --release -p sd-bench --bin figure4
+//! ```
+
+use sd_bench::{shape_check, HarnessConfig};
+use sd_core::{figure4_scatter, ExperimentConfig};
+use sd_cleaning::paper_strategy;
+
+use sd_core::ScatterPoint;
+
+fn summarize(points: &[ScatterPoint]) -> (usize, usize, usize, usize, usize) {
+    use sd_core::ScatterPointKind as K;
+    let mut unchanged = 0;
+    let mut imputed = 0;
+    let mut rewritten = 0;
+    let mut still_missing = 0;
+    let mut negative_imputed = 0;
+    for p in points {
+        match p.kind {
+            K::Unchanged => unchanged += 1,
+            K::ImputedFromMissing => {
+                imputed += 1;
+                if p.treated.is_some_and(|v| v < 0.0) {
+                    negative_imputed += 1;
+                }
+            }
+            K::Rewritten => {
+                rewritten += 1;
+                if p.treated.is_some_and(|v| v < 0.0) {
+                    negative_imputed += 1;
+                }
+            }
+            K::StillMissing => still_missing += 1,
+        }
+    }
+    (unchanged, imputed, rewritten, still_missing, negative_imputed)
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let data = harness.generate_data();
+    let strategy = paper_strategy(1);
+
+    let mut results = Vec::new();
+    for (label, log) in [("(a) no log", false), ("(b) log(attr1)", true)] {
+        let mut config = ExperimentConfig::paper_default(100, harness.seed);
+        config.replications = harness.replications;
+        config.log_transform_attr1 = log;
+        config.threads = harness.threads;
+        let pair =
+            figure4_scatter(&data, &config, &strategy, 0, 200_000).expect("scatter data");
+        let (unchanged, imputed, rewritten, still_missing, negative) =
+            summarize(&pair.points);
+        println!("\n== Figure 4 {label} — attribute 1 under '{}' ==", pair.label);
+        println!("points: {}", pair.points.len());
+        println!("  unchanged (y = x diagonal):   {unchanged}");
+        println!("  imputed from missing (gray):  {imputed}");
+        println!("  rewritten (winsorized/incons): {rewritten}");
+        println!("  still missing (residual):     {still_missing}");
+        println!("  negative treated values:      {negative}");
+        results.push((label, unchanged, imputed, rewritten, still_missing, negative));
+
+        harness.write_json(
+            &format!("figure4_{}.json", if log { "log" } else { "raw" }),
+            &serde_json::json!({
+                "label": label,
+                "strategy": pair.label,
+                "points": pair.points
+                    .iter()
+                    .take(20_000)
+                    .map(|p| serde_json::json!({
+                        "untreated": p.untreated,
+                        "treated": p.treated,
+                        "kind": format!("{:?}", p.kind),
+                        "replication": p.replication,
+                    }))
+                    .collect::<Vec<_>>(),
+            }),
+        );
+    }
+
+    println!();
+    let raw = &results[0];
+    let log = &results[1];
+    shape_check(
+        "negative imputations occur without the log transform",
+        raw.5 > 0,
+    );
+    shape_check(
+        "log transform prevents negative imputed loads",
+        log.5 == 0,
+    );
+    shape_check(
+        "most data stays on the y = x diagonal",
+        raw.1 > raw.3 && log.1 > log.3,
+    );
+    // Fully-missing records are rare (≈0.03 %), so at small scales the
+    // residual can legitimately be zero; the invariant is that it stays
+    // tiny relative to the successfully imputed mass.
+    shape_check(
+        "unimputable residual stays tiny (≤1 % of imputations)",
+        (raw.4 as f64) <= 0.01 * raw.1.max(1) as f64,
+    );
+}

@@ -1,0 +1,147 @@
+use sd_data::Dataset;
+use sd_glitch::OutlierDetector;
+use sd_stats::{AttributeTransform, Summary};
+
+/// Per-replication cleaning context: everything the primitives calibrate
+/// on the **ideal sample** `D^i_I` (§2.1.2).
+///
+/// The paper computes winsorization limits and replacement means from the
+/// ideal data of the *same replication*, which is what gives Figure 4 its
+/// horizontal banding — the 3-σ limits vary between experimental runs with
+/// the ideal sample.
+#[derive(Debug, Clone)]
+pub struct CleaningContext {
+    transforms: Vec<AttributeTransform>,
+    /// Per-attribute `(lo, hi)` winsorization limits in working space.
+    limits: Vec<(f64, f64)>,
+    /// Per-attribute ideal means in working space.
+    ideal_means: Vec<f64>,
+}
+
+impl CleaningContext {
+    /// Calibrates a context from an ideal sample: `k`-σ limits and means of
+    /// every attribute, in the working space of the matching transform.
+    pub fn fit(ideal: &Dataset, transforms: &[AttributeTransform], k: f64) -> Self {
+        assert_eq!(
+            transforms.len(),
+            ideal.num_attributes(),
+            "one transform per attribute"
+        );
+        let mut limits = Vec::with_capacity(transforms.len());
+        let mut ideal_means = Vec::with_capacity(transforms.len());
+        for (attr, tf) in transforms.iter().enumerate() {
+            let mut values = ideal.pooled_attribute(attr);
+            tf.forward_slice(&mut values);
+            let s = Summary::from_slice(&values);
+            if s.is_empty() {
+                limits.push((f64::NEG_INFINITY, f64::INFINITY));
+                ideal_means.push(0.0);
+            } else {
+                limits.push(s.sigma_limits(k));
+                ideal_means.push(s.mean);
+            }
+        }
+        CleaningContext {
+            transforms: transforms.to_vec(),
+            limits,
+            ideal_means,
+        }
+    }
+
+    /// Builds a context that shares its limits with a fitted outlier
+    /// detector (guaranteeing detector and winsorizer agree on what is
+    /// acceptable), taking means from the ideal sample.
+    pub fn from_detector(
+        ideal: &Dataset,
+        transforms: &[AttributeTransform],
+        detector: &OutlierDetector,
+    ) -> Self {
+        let mut ctx = CleaningContext::fit(ideal, transforms, detector.k());
+        ctx.limits = detector.limits().to_vec();
+        ctx
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Per-attribute transforms.
+    pub fn transforms(&self) -> &[AttributeTransform] {
+        &self.transforms
+    }
+
+    /// Per-attribute winsorization limits in working space.
+    pub fn limits(&self) -> &[(f64, f64)] {
+        &self.limits
+    }
+
+    /// Per-attribute ideal means in working space.
+    pub fn ideal_means(&self) -> &[f64] {
+        &self.ideal_means
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_data::{NodeId, TimeSeries};
+
+    fn ideal() -> Dataset {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 0), 2, 10);
+        for t in 0..10 {
+            s.set(0, t, 100.0 + t as f64);
+            s.set(1, t, 0.9);
+        }
+        Dataset::new(vec!["load", "ratio"], vec![s]).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_limits_and_means() {
+        let ctx = CleaningContext::fit(
+            &ideal(),
+            &[AttributeTransform::Identity, AttributeTransform::Identity],
+            3.0,
+        );
+        assert_eq!(ctx.num_attributes(), 2);
+        let (lo, hi) = ctx.limits()[0];
+        assert!(lo < 100.0 && hi > 109.0);
+        assert!((ctx.ideal_means()[0] - 104.5).abs() < 1e-12);
+        assert!((ctx.ideal_means()[1] - 0.9).abs() < 1e-12);
+        // Constant attribute: zero σ, limits collapse to the mean.
+        let (rlo, rhi) = ctx.limits()[1];
+        assert!((rlo - 0.9).abs() < 1e-12 && (rhi - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_transform_changes_working_space() {
+        let raw = CleaningContext::fit(
+            &ideal(),
+            &[AttributeTransform::Identity, AttributeTransform::Identity],
+            3.0,
+        );
+        let log = CleaningContext::fit(
+            &ideal(),
+            &[AttributeTransform::log(), AttributeTransform::Identity],
+            3.0,
+        );
+        assert!((log.ideal_means()[0] - raw.ideal_means()[0].ln()).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_detector_shares_limits() {
+        let ds = ideal();
+        let tf = [AttributeTransform::Identity, AttributeTransform::Identity];
+        let det = OutlierDetector::fit(&ds, &tf, 3.0);
+        let ctx = CleaningContext::from_detector(&ds, &tf, &det);
+        assert_eq!(ctx.limits(), det.limits());
+    }
+
+    #[test]
+    fn empty_ideal_attribute_gets_open_limits() {
+        let s = TimeSeries::new(NodeId::new(0, 0, 0), 1, 5); // all missing
+        let ds = Dataset::new(vec!["a"], vec![s]).unwrap();
+        let ctx = CleaningContext::fit(&ds, &[AttributeTransform::Identity], 3.0);
+        assert_eq!(ctx.limits()[0], (f64::NEG_INFINITY, f64::INFINITY));
+    }
+}

@@ -1,0 +1,161 @@
+use crate::{CleaningContext, CleaningOutcome, CompositeStrategy};
+use rand::RngCore;
+use sd_data::Dataset;
+use sd_glitch::{GlitchIndex, GlitchMatrix};
+
+/// Cost-proxy partial cleaning (§5.2): rank every series by its normalized
+/// glitch score, then clean only the dirtiest `fraction` of them.
+///
+/// "We ranked each time series according to its aggregated and normalized
+/// glitch score, and cleaned the data from the highest glitch score, until
+/// a pre-determined proportion of the data was cleaned." `fraction = 0`
+/// leaves the data untouched; `fraction = 1` is full cleaning.
+#[derive(Debug, Clone)]
+pub struct PartialCleaner {
+    index: GlitchIndex,
+    fraction: f64,
+}
+
+/// What a partial-cleaning pass did.
+#[derive(Debug, Clone)]
+pub struct PartialOutcome {
+    /// Indices of the series that were cleaned, dirtiest first.
+    pub cleaned_indices: Vec<usize>,
+    /// Aggregate cleaning counters.
+    pub outcome: CleaningOutcome,
+}
+
+impl PartialCleaner {
+    /// Creates a partial cleaner; `fraction` is clamped to `[0, 1]`.
+    pub fn new(index: GlitchIndex, fraction: f64) -> Self {
+        PartialCleaner {
+            index,
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The cleaning fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Which series a pass over `glitches` would clean (dirtiest first).
+    pub fn select(&self, glitches: &[GlitchMatrix]) -> Vec<usize> {
+        let ranked = self.index.rank_dirtiest(glitches);
+        let count = (self.fraction * ranked.len() as f64).round() as usize;
+        ranked.into_iter().take(count).collect()
+    }
+
+    /// Cleans the dirtiest `fraction` of series with `strategy`.
+    pub fn clean(
+        &self,
+        data: &mut Dataset,
+        glitches: &[GlitchMatrix],
+        strategy: &CompositeStrategy,
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+    ) -> PartialOutcome {
+        let cleaned_indices = self.select(glitches);
+        let mut mask = vec![false; data.num_series()];
+        for &i in &cleaned_indices {
+            mask[i] = true;
+        }
+        let outcome = strategy.clean_filtered(data, glitches, ctx, rng, Some(&mask));
+        PartialOutcome {
+            cleaned_indices,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_data::{NodeId, TimeSeries};
+    use sd_glitch::{GlitchType, GlitchWeights};
+    use sd_stats::AttributeTransform;
+
+    fn matrices() -> Vec<GlitchMatrix> {
+        // Series 0: clean; series 1: very dirty; series 2: mildly dirty.
+        let clean = GlitchMatrix::new(1, 10);
+        let mut dirty = GlitchMatrix::new(1, 10);
+        for t in 0..8 {
+            dirty.set(0, GlitchType::Missing, t);
+        }
+        let mut mild = GlitchMatrix::new(1, 10);
+        mild.set(0, GlitchType::Missing, 0);
+        vec![clean, dirty, mild]
+    }
+
+    fn dataset() -> Dataset {
+        let series: Vec<TimeSeries> = (0..3)
+            .map(|i| {
+                let mut s = TimeSeries::new(NodeId::new(0, 0, i), 1, 10);
+                for t in 0..10 {
+                    s.set(0, t, 50.0 + t as f64);
+                }
+                s
+            })
+            .collect();
+        Dataset::new(vec!["a"], series).unwrap()
+    }
+
+    fn context(data: &Dataset) -> CleaningContext {
+        CleaningContext::fit(data, &[AttributeTransform::Identity], 3.0)
+    }
+
+    #[test]
+    fn selection_is_dirtiest_first() {
+        let pc = PartialCleaner::new(GlitchIndex::new(GlitchWeights::uniform()), 1.0 / 3.0);
+        assert_eq!(pc.select(&matrices()), vec![1]);
+        let pc2 = PartialCleaner::new(GlitchIndex::new(GlitchWeights::uniform()), 2.0 / 3.0);
+        assert_eq!(pc2.select(&matrices()), vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_fraction_cleans_nothing() {
+        let data0 = dataset();
+        let mut data = dataset();
+        let ctx = context(&data);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pc = PartialCleaner::new(GlitchIndex::default(), 0.0);
+        let out = pc.clean(&mut data, &matrices(), &paper_strategy(4), &ctx, &mut rng);
+        assert!(out.cleaned_indices.is_empty());
+        assert_eq!(out.outcome.cells_changed(), 0);
+        assert!(data.same_data(&data0));
+    }
+
+    #[test]
+    fn full_fraction_cleans_everything_flagged() {
+        let mut data = dataset();
+        let ctx = context(&data);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pc = PartialCleaner::new(GlitchIndex::default(), 1.0);
+        let out = pc.clean(&mut data, &matrices(), &paper_strategy(4), &ctx, &mut rng);
+        assert_eq!(out.cleaned_indices.len(), 3);
+        // 8 + 1 flagged missing cells get mean-replaced.
+        assert_eq!(out.outcome.mean_imputed_cells, 9);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let pc = PartialCleaner::new(GlitchIndex::default(), 7.5);
+        assert_eq!(pc.fraction(), 1.0);
+        let pc = PartialCleaner::new(GlitchIndex::default(), -0.5);
+        assert_eq!(pc.fraction(), 0.0);
+    }
+
+    #[test]
+    fn partial_cleaning_touches_only_selected_series() {
+        let mut data = dataset();
+        let ctx = context(&data);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pc = PartialCleaner::new(GlitchIndex::new(GlitchWeights::uniform()), 1.0 / 3.0);
+        let out = pc.clean(&mut data, &matrices(), &paper_strategy(4), &ctx, &mut rng);
+        assert_eq!(out.cleaned_indices, vec![1]);
+        assert_eq!(out.outcome.mean_imputed_cells, 8);
+    }
+}

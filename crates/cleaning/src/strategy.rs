@@ -1,0 +1,502 @@
+use crate::{CleaningContext, MeanImputer, MvnImputer, Winsorizer};
+use rand::RngCore;
+use sd_data::Dataset;
+use sd_glitch::{GlitchMatrix, GlitchType};
+
+/// How a strategy treats missing and inconsistent values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingTreatment {
+    /// Leave them in place.
+    Ignore,
+    /// Replace with the ideal sample's attribute mean (cheap).
+    MeanImpute,
+    /// Model-based multivariate-Gaussian imputation (`PROC MI` emulation).
+    ModelImpute,
+}
+
+/// How a strategy treats outliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierTreatment {
+    /// Leave them in place.
+    Ignore,
+    /// Clamp to the nearest 3-σ limit (winsorization).
+    Winsorize,
+}
+
+/// Counters describing what a cleaning pass actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CleaningOutcome {
+    /// Cells replaced by the model-based imputer.
+    pub model_imputed_cells: usize,
+    /// Cells replaced by the ideal mean.
+    pub mean_imputed_cells: usize,
+    /// Cells clamped by winsorization.
+    pub winsorized_cells: usize,
+    /// Treated cells left missing (fully-missing records under the model
+    /// imputer — the paper's residual 0.028 %).
+    pub residual_missing_cells: usize,
+    /// Whether the imputation model could not be fitted (treated cells were
+    /// then left as-is).
+    pub model_fit_failed: bool,
+}
+
+impl CleaningOutcome {
+    /// Total cells modified by the pass.
+    pub fn cells_changed(&self) -> usize {
+        self.model_imputed_cells + self.mean_imputed_cells + self.winsorized_cells
+    }
+
+    fn merge(&mut self, other: CleaningOutcome) {
+        self.model_imputed_cells += other.model_imputed_cells;
+        self.mean_imputed_cells += other.mean_imputed_cells;
+        self.winsorized_cells += other.winsorized_cells;
+        self.residual_missing_cells += other.residual_missing_cells;
+        self.model_fit_failed |= other.model_fit_failed;
+    }
+}
+
+/// A cleaning strategy: rewrites a dirty data set in place, guided by its
+/// glitch annotations and a calibrated [`CleaningContext`].
+pub trait CleaningStrategy {
+    /// Human-readable name (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Cleans `data` in place. `glitches` must be aligned with
+    /// `data.series()` and reflect the *dirty* data's annotations.
+    fn clean(
+        &self,
+        data: &mut Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+    ) -> CleaningOutcome;
+}
+
+/// A composite strategy combining one missing/inconsistent treatment with
+/// one outlier treatment — the space the paper's five strategies live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompositeStrategy {
+    missing: MissingTreatment,
+    outliers: OutlierTreatment,
+}
+
+/// Returns the paper's Strategy `k` (§5.1), `k ∈ 1..=5`:
+///
+/// 1. model-impute missing/inconsistent + winsorize outliers;
+/// 2. model-impute missing/inconsistent, ignore outliers;
+/// 3. ignore missing/inconsistent, winsorize outliers;
+/// 4. mean-replace missing/inconsistent, ignore outliers;
+/// 5. mean-replace missing/inconsistent + winsorize outliers.
+pub fn paper_strategy(k: u32) -> CompositeStrategy {
+    match k {
+        1 => CompositeStrategy::new(MissingTreatment::ModelImpute, OutlierTreatment::Winsorize),
+        2 => CompositeStrategy::new(MissingTreatment::ModelImpute, OutlierTreatment::Ignore),
+        3 => CompositeStrategy::new(MissingTreatment::Ignore, OutlierTreatment::Winsorize),
+        4 => CompositeStrategy::new(MissingTreatment::MeanImpute, OutlierTreatment::Ignore),
+        5 => CompositeStrategy::new(MissingTreatment::MeanImpute, OutlierTreatment::Winsorize),
+        _ => panic!("paper strategies are numbered 1..=5, got {k}"),
+    }
+}
+
+impl CompositeStrategy {
+    /// Creates a composite strategy.
+    pub fn new(missing: MissingTreatment, outliers: OutlierTreatment) -> Self {
+        CompositeStrategy { missing, outliers }
+    }
+
+    /// The missing/inconsistent treatment.
+    pub fn missing_treatment(&self) -> MissingTreatment {
+        self.missing
+    }
+
+    /// The outlier treatment.
+    pub fn outlier_treatment(&self) -> OutlierTreatment {
+        self.outliers
+    }
+
+    /// Cleans only the series where `mask` is `true` (all series when
+    /// `mask` is `None`). The imputation model is fitted on exactly the
+    /// masked series — the data the strategy was handed, as `PROC MI`
+    /// would see it.
+    pub fn clean_filtered(
+        &self,
+        data: &mut Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+        mask: Option<&[bool]>,
+    ) -> CleaningOutcome {
+        assert_eq!(
+            data.num_series(),
+            glitches.len(),
+            "glitch annotations must align with series"
+        );
+        if let Some(m) = mask {
+            assert_eq!(m.len(), data.num_series(), "mask must align with series");
+        }
+        let v = data.num_attributes();
+        let transforms = ctx.transforms().to_vec();
+        let selected = |i: usize| mask.is_none_or(|m| m[i]);
+
+        let mut outcome = CleaningOutcome::default();
+
+        // Fit the imputation model on the treated portion, with treated
+        // cells (missing + inconsistent) masked out.
+        let imputer = if self.missing == MissingTreatment::ModelImpute {
+            let mut rows = Vec::new();
+            for (i, series) in data.series().iter().enumerate() {
+                if !selected(i) {
+                    continue;
+                }
+                let g = &glitches[i];
+                for t in 0..series.len() {
+                    let mut row = Vec::with_capacity(v);
+                    for (a, tf) in transforms.iter().enumerate() {
+                        let treated = g.get(a, GlitchType::Missing, t)
+                            || g.get(a, GlitchType::Inconsistent, t);
+                        let x = series.get(a, t);
+                        row.push(if treated { f64::NAN } else { tf.forward(x) });
+                    }
+                    rows.push(row);
+                }
+            }
+            match MvnImputer::fit(&rows) {
+                Ok(imp) => Some(imp),
+                Err(_) => {
+                    outcome.model_fit_failed = true;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        let mean_imputer = if self.missing == MissingTreatment::MeanImpute {
+            Some(MeanImputer::from_context(ctx))
+        } else {
+            None
+        };
+        let winsorizer = if self.outliers == OutlierTreatment::Winsorize {
+            Some(Winsorizer::from_context(ctx))
+        } else {
+            None
+        };
+
+        let mut wrec = vec![0.0; v];
+        let mut treat = vec![false; v];
+        for (i, series) in data.series_mut().iter_mut().enumerate() {
+            if !selected(i) {
+                continue;
+            }
+            let g = &glitches[i];
+            let mut series_outcome = CleaningOutcome::default();
+            for t in 0..series.len() {
+                // Which cells does the missing-treatment replace?
+                for (a, slot) in treat.iter_mut().enumerate() {
+                    *slot = self.missing != MissingTreatment::Ignore
+                        && (g.get(a, GlitchType::Missing, t)
+                            || g.get(a, GlitchType::Inconsistent, t));
+                }
+
+                match self.missing {
+                    MissingTreatment::ModelImpute => {
+                        if let Some(imp) = &imputer {
+                            for (a, tf) in transforms.iter().enumerate() {
+                                wrec[a] = if treat[a] {
+                                    f64::NAN
+                                } else {
+                                    tf.forward(series.get(a, t))
+                                };
+                            }
+                            imp.impute_record(&mut wrec, rng);
+                            for a in 0..v {
+                                if !treat[a] {
+                                    continue;
+                                }
+                                if wrec[a].is_nan() {
+                                    // Fully-missing record: unimputable.
+                                    series.set_missing(a, t);
+                                    series_outcome.residual_missing_cells += 1;
+                                } else {
+                                    series.set(a, t, transforms[a].inverse(wrec[a]));
+                                    series_outcome.model_imputed_cells += 1;
+                                }
+                            }
+                        }
+                    }
+                    MissingTreatment::MeanImpute => {
+                        if let Some(mi) = &mean_imputer {
+                            for a in 0..v {
+                                if treat[a] {
+                                    series.set(a, t, mi.replacement(a));
+                                    series_outcome.mean_imputed_cells += 1;
+                                }
+                            }
+                        }
+                    }
+                    MissingTreatment::Ignore => {}
+                }
+
+                // Winsorize by value: clamp *any* present cell outside the
+                // acceptable limits — original outliers and out-of-limits
+                // imputations alike. This is the paper's semantics: after
+                // a winsorizing strategy runs, the treated data contains no
+                // outliers at all (Table 1 reports exactly 0).
+                if let Some(wz) = &winsorizer {
+                    for a in 0..v {
+                        let x = series.get(a, t);
+                        if wz.is_outlying(a, x) {
+                            let repaired = wz.repair(a, x);
+                            series.set(a, t, repaired);
+                            series_outcome.winsorized_cells += 1;
+                        }
+                    }
+                }
+            }
+            outcome.merge(series_outcome);
+        }
+        outcome
+    }
+}
+
+impl CleaningStrategy for CompositeStrategy {
+    fn name(&self) -> String {
+        let miss = match self.missing {
+            MissingTreatment::Ignore => None,
+            MissingTreatment::MeanImpute => Some("replace with mean"),
+            MissingTreatment::ModelImpute => Some("impute"),
+        };
+        let out = match self.outliers {
+            OutlierTreatment::Ignore => None,
+            OutlierTreatment::Winsorize => Some("winsorize"),
+        };
+        match (out, miss) {
+            (Some(o), Some(m)) => format!("{o} and {m}"),
+            (Some(o), None) => format!("{o} only"),
+            (None, Some(m)) => format!("{m} only"),
+            (None, None) => "no-op".to_string(),
+        }
+    }
+
+    fn clean(
+        &self,
+        data: &mut Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+    ) -> CleaningOutcome {
+        self.clean_filtered(data, glitches, ctx, rng, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_data::{NodeId, TimeSeries};
+    use sd_glitch::{ConstraintSet, GlitchDetector, OutlierDetector};
+    use sd_stats::AttributeTransform;
+
+    /// A small fixture: ideal data plus one dirty series with all three
+    /// glitch types.
+    struct Fixture {
+        ideal: Dataset,
+        dirty: Dataset,
+        glitches: Vec<GlitchMatrix>,
+        ctx: CleaningContext,
+    }
+
+    fn fixture() -> Fixture {
+        let transforms = [AttributeTransform::Identity, AttributeTransform::Identity];
+        // Ideal: two correlated attributes around (100, 50).
+        let mut ideal_series = TimeSeries::new(NodeId::new(0, 0, 0), 2, 50);
+        for t in 0..50 {
+            let x = 90.0 + (t as f64) * 0.4;
+            ideal_series.set(0, t, x);
+            ideal_series.set(1, t, 0.5 * x);
+        }
+        let ideal = Dataset::new(vec!["a", "b"], vec![ideal_series]).unwrap();
+
+        // Dirty: same process plus glitches.
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 1), 2, 50);
+        for t in 0..50 {
+            let x = 90.0 + (t as f64) * 0.4;
+            s.set(0, t, x);
+            s.set(1, t, 0.5 * x);
+        }
+        s.set_missing(0, 3);
+        s.set(0, 7, -40.0); // inconsistent (negative)
+        s.set(0, 11, 5000.0); // outlier
+        s.set_missing(0, 20);
+        s.set_missing(1, 20); // fully-missing record
+        let dirty = Dataset::new(vec!["a", "b"], vec![s]).unwrap();
+
+        let detector = GlitchDetector::new(
+            ConstraintSet::new(vec![sd_glitch::Constraint::NonNegative { attr: 0 }]),
+            Some(OutlierDetector::fit(&ideal, &transforms, 3.0)),
+        );
+        let glitches = detector.detect_dataset(&dirty);
+        let ctx = CleaningContext::fit(&ideal, &transforms, 3.0);
+        Fixture {
+            ideal,
+            dirty,
+            glitches,
+            ctx,
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(paper_strategy(1).name(), "winsorize and impute");
+        assert_eq!(paper_strategy(2).name(), "impute only");
+        assert_eq!(paper_strategy(3).name(), "winsorize only");
+        assert_eq!(paper_strategy(4).name(), "replace with mean only");
+        assert_eq!(paper_strategy(5).name(), "winsorize and replace with mean");
+    }
+
+    #[test]
+    fn strategy3_winsorizes_and_leaves_missing() {
+        let f = fixture();
+        let mut data = f.dirty.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = paper_strategy(3).clean(&mut data, &f.glitches, &f.ctx, &mut rng);
+        // Both the 5000 spike and the -40 value breach the 3-σ limits: the
+        // corrupted negative is an outlier *and* an inconsistency, and
+        // Strategy 3 (winsorize-only) clamps everything flagged as outlying.
+        assert_eq!(outcome.winsorized_cells, 2);
+        assert_eq!(outcome.cells_changed(), 2);
+        let s = data.series_at(0);
+        assert!(s.is_missing(0, 3), "missing untouched");
+        let (lo, hi) = f.ctx.limits()[0];
+        assert!((s.get(0, 7) - lo).abs() < 1e-9, "negative clamped to lower limit");
+        assert!((s.get(0, 11) - hi).abs() < 1e-9, "spike clamped to upper limit");
+    }
+
+    #[test]
+    fn strategy4_mean_replaces_all_missing_and_inconsistent() {
+        let f = fixture();
+        let mut data = f.dirty.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = paper_strategy(4).clean(&mut data, &f.glitches, &f.ctx, &mut rng);
+        let s = data.series_at(0);
+        // 2 missing on attr0 + 1 inconsistent + 1 missing on attr1 = 4.
+        assert_eq!(outcome.mean_imputed_cells, 4);
+        assert!(!s.is_missing(0, 3));
+        assert!(!s.is_missing(1, 20));
+        assert_eq!(s.get(0, 7), f.ctx.ideal_means()[0]);
+        // Outlier untouched.
+        assert_eq!(s.get(0, 11), 5000.0);
+        assert_eq!(outcome.residual_missing_cells, 0);
+    }
+
+    #[test]
+    fn strategy1_imputes_and_winsorizes_with_residual() {
+        let f = fixture();
+        let mut data = f.dirty.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = paper_strategy(1).clean(&mut data, &f.glitches, &f.ctx, &mut rng);
+        assert!(!outcome.model_fit_failed);
+        let s = data.series_at(0);
+        // Partially-missing records imputed.
+        assert!(!s.is_missing(0, 3));
+        assert!(s.get(0, 7) != -40.0, "inconsistent replaced by imputation");
+        // Fully-missing record left missing: the residual.
+        assert!(s.is_missing(0, 20) && s.is_missing(1, 20));
+        assert_eq!(outcome.residual_missing_cells, 2);
+        // Outlier winsorized; out-of-limits imputations are clamped too,
+        // so the treated data contains no out-of-limits values at all.
+        assert!(s.get(0, 11) < 5000.0);
+        assert!(outcome.winsorized_cells >= 1);
+        let wz = Winsorizer::from_context(&f.ctx);
+        for t in 0..s.len() {
+            for a in 0..2 {
+                assert!(
+                    !wz.is_outlying(a, s.get(a, t)),
+                    "residual out-of-limits value at attr {a}, t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_imputation_tracks_the_correlate() {
+        // A fixture *without* the 5000 spike: with an untreated outlier in
+        // the fit data the Gaussian covariance is wrecked (that distortion
+        // is itself paper-faithful and covered elsewhere); here we verify
+        // the conditional mechanics on well-behaved data.
+        let f = fixture();
+        let mut series = f.dirty.series_at(0).clone();
+        series.set(0, 11, 94.4); // restore the clean value
+        let mut data = Dataset::new(vec!["a", "b"], vec![series]).unwrap();
+        let detector = GlitchDetector::new(
+            ConstraintSet::new(vec![sd_glitch::Constraint::NonNegative { attr: 0 }]),
+            Some(OutlierDetector::fit(
+                &f.ideal,
+                &[AttributeTransform::Identity, AttributeTransform::Identity],
+                3.0,
+            )),
+        );
+        let glitches = detector.detect_dataset(&data);
+        let mut rng = StdRng::seed_from_u64(11);
+        paper_strategy(2).clean(&mut data, &glitches, &f.ctx, &mut rng);
+        let s = data.series_at(0);
+        // At t=3, attr1 = 0.5 * attr0 ≈ 45.6 was observed; the imputed
+        // attr0 should land near 2 × 45.6 thanks to the correlation.
+        let imputed = s.get(0, 3);
+        let expected = 2.0 * s.get(1, 3);
+        assert!(
+            (imputed - expected).abs() < 15.0,
+            "imputed {imputed}, expected near {expected}"
+        );
+    }
+
+    #[test]
+    fn mask_restricts_cleaning_to_selected_series() {
+        let f = fixture();
+        // Duplicate the dirty series so we have two.
+        let data = f.dirty.clone();
+        let extra = data.series_at(0).clone();
+        let mut data2 = Dataset::new(vec!["a", "b"], vec![data.series_at(0).clone(), extra])
+            .unwrap();
+        let glitches = vec![f.glitches[0].clone(), f.glitches[0].clone()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = paper_strategy(5).clean_filtered(
+            &mut data2,
+            &glitches,
+            &f.ctx,
+            &mut rng,
+            Some(&[true, false]),
+        );
+        assert!(outcome.cells_changed() > 0);
+        // Series 1 untouched: still has its missing cell and outlier.
+        assert!(data2.series_at(1).is_missing(0, 3));
+        assert_eq!(data2.series_at(1).get(0, 11), 5000.0);
+        // Series 0 cleaned.
+        assert!(!data2.series_at(0).is_missing(0, 3));
+        let _ = data; // silence unused when not cloned further
+    }
+
+    #[test]
+    fn ignore_ignore_is_a_no_op() {
+        let f = fixture();
+        let mut data = f.dirty.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let strategy =
+            CompositeStrategy::new(MissingTreatment::Ignore, OutlierTreatment::Ignore);
+        let outcome = strategy.clean(&mut data, &f.glitches, &f.ctx, &mut rng);
+        assert_eq!(outcome.cells_changed(), 0);
+        assert!(data.same_data(&f.dirty));
+        assert_eq!(strategy.name(), "no-op");
+        let _ = &f.ideal;
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_glitches_panic() {
+        let f = fixture();
+        let mut data = f.dirty.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        paper_strategy(3).clean(&mut data, &[], &f.ctx, &mut rng);
+    }
+}

@@ -1,0 +1,121 @@
+use crate::CleaningContext;
+
+/// Winsorization: repair an outlier "by attributing the closest acceptable
+/// (non-outlying) value" (§1.1) — clamp to the nearest 3-σ limit.
+///
+/// Clamping happens in each attribute's working space (log space when the
+/// log-transform factor is active), then maps back to the raw scale. This
+/// reproduces the paper's §5.3 observation: without the transform the
+/// right tail is clamped, with it the left tail.
+#[derive(Debug, Clone)]
+pub struct Winsorizer {
+    limits: Vec<(f64, f64)>,
+    transforms: Vec<sd_stats::AttributeTransform>,
+}
+
+impl Winsorizer {
+    /// Builds a winsorizer from a calibrated context.
+    pub fn from_context(ctx: &CleaningContext) -> Self {
+        Winsorizer {
+            limits: ctx.limits().to_vec(),
+            transforms: ctx.transforms().to_vec(),
+        }
+    }
+
+    /// The per-attribute working-space limits.
+    pub fn limits(&self) -> &[(f64, f64)] {
+        &self.limits
+    }
+
+    /// Winsorizes a raw value of attribute `attr`: returns the repaired raw
+    /// value (identical to the input when it is inside the limits or
+    /// missing).
+    pub fn repair(&self, attr: usize, x: f64) -> f64 {
+        if x.is_nan() {
+            return x;
+        }
+        let tf = &self.transforms[attr];
+        let w = tf.forward(x);
+        let (lo, hi) = self.limits[attr];
+        if w < lo {
+            tf.inverse(lo)
+        } else if w > hi {
+            tf.inverse(hi)
+        } else {
+            x
+        }
+    }
+
+    /// Whether a raw value would be changed by [`Winsorizer::repair`].
+    pub fn is_outlying(&self, attr: usize, x: f64) -> bool {
+        if x.is_nan() {
+            return false;
+        }
+        let w = self.transforms[attr].forward(x);
+        let (lo, hi) = self.limits[attr];
+        w < lo || w > hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_data::{Dataset, NodeId, TimeSeries};
+    use sd_stats::AttributeTransform;
+
+    fn context(transform: AttributeTransform) -> CleaningContext {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 0), 1, 40);
+        for t in 0..40 {
+            s.set(0, t, 90.0 + t as f64); // 90..130
+        }
+        let ds = Dataset::new(vec!["load"], vec![s]).unwrap();
+        CleaningContext::fit(&ds, &[transform], 3.0)
+    }
+
+    #[test]
+    fn values_inside_limits_are_untouched() {
+        let w = Winsorizer::from_context(&context(AttributeTransform::Identity));
+        assert_eq!(w.repair(0, 100.0), 100.0);
+        assert!(!w.is_outlying(0, 100.0));
+    }
+
+    #[test]
+    fn high_outliers_clamp_to_upper_limit() {
+        let ctx = context(AttributeTransform::Identity);
+        let w = Winsorizer::from_context(&ctx);
+        let (_, hi) = ctx.limits()[0];
+        let repaired = w.repair(0, 1e6);
+        assert!((repaired - hi).abs() < 1e-9);
+        assert!(w.is_outlying(0, 1e6));
+        // Repaired value is acceptable: repairing again is a no-op.
+        assert_eq!(w.repair(0, repaired), repaired);
+    }
+
+    #[test]
+    fn low_outliers_clamp_to_lower_limit() {
+        let ctx = context(AttributeTransform::Identity);
+        let w = Winsorizer::from_context(&ctx);
+        let (lo, _) = ctx.limits()[0];
+        assert!((w.repair(0, -1e6) - lo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_space_clamping_returns_positive_raw_values() {
+        let ctx = context(AttributeTransform::log());
+        let w = Winsorizer::from_context(&ctx);
+        // A near-zero dropout is a log-space outlier; its repair must be a
+        // positive raw value at the lower limit.
+        let repaired = w.repair(0, 1e-5);
+        assert!(repaired > 0.0);
+        assert!(w.is_outlying(0, 1e-5));
+        let (lo, _) = ctx.limits()[0];
+        assert!((repaired.ln() - lo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_values_pass_through() {
+        let w = Winsorizer::from_context(&context(AttributeTransform::Identity));
+        assert!(w.repair(0, f64::NAN).is_nan());
+        assert!(!w.is_outlying(0, f64::NAN));
+    }
+}

@@ -1,0 +1,168 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use sd_emd::emd_1d_samples;
+
+/// The three Figure 2 cleaning options a fixed budget `$K` can buy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetScenario {
+    /// Impute every missing value with a fixed constant (the mean):
+    /// cheap, 100 % glitch improvement, high distortion (density spike).
+    CheapConstant,
+    /// Simulate the distribution for a subset of glitches: medium cost,
+    /// the paper's example covers 40 % of the glitches, low distortion.
+    SimulateDistribution,
+    /// Re-take the measurements: expensive, covers 30 % of the glitches,
+    /// (almost) no distortion.
+    Remeasure,
+}
+
+impl BudgetScenario {
+    /// Display label matching Figure 2's annotations.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetScenario::CheapConstant => "impute fixed constant (cheap)",
+            BudgetScenario::SimulateDistribution => "simulate distribution (medium)",
+            BudgetScenario::Remeasure => "re-measure (expensive)",
+        }
+    }
+
+    /// Fraction of glitches the budget covers under this scenario.
+    pub fn coverage(&self) -> f64 {
+        match self {
+            BudgetScenario::CheapConstant => 1.0,
+            BudgetScenario::SimulateDistribution => 0.4,
+            BudgetScenario::Remeasure => 0.3,
+        }
+    }
+}
+
+/// One point of the Figure 2 trade-off.
+#[derive(Debug, Clone)]
+pub struct BudgetPoint {
+    /// Which option was bought.
+    pub scenario: BudgetScenario,
+    /// Percentage of glitches removed (the glitch-improvement axis).
+    pub glitch_improvement_pct: f64,
+    /// EMD between treated and dirty observed distributions.
+    pub distortion: f64,
+}
+
+/// Reproduces the Figure 2 thought experiment quantitatively.
+///
+/// A right-skewed measurement process loses `missing_fraction` of its
+/// values; a fixed budget buys one of three repairs. The cheap constant
+/// fixes everything but spikes the density; simulating the distribution
+/// fixes 40 % with little distortion; re-measuring fixes 30 % with almost
+/// none. The returned points trace exactly the trade-off curve of the
+/// figure.
+pub fn budget_tradeoff(n: usize, missing_fraction: f64, seed: u64) -> Vec<BudgetPoint> {
+    assert!(n > 10, "need a meaningful sample");
+    assert!((0.0..1.0).contains(&missing_fraction), "fraction in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = LogNormal::new(3.0, 0.8).expect("valid lognormal");
+
+    // Ground truth and the dirty view (missing values deleted).
+    let truth: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    let missing: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < missing_fraction).collect();
+    let observed: Vec<f64> = truth
+        .iter()
+        .zip(&missing)
+        .filter(|(_, &m)| !m)
+        .map(|(&x, _)| x)
+        .collect();
+    let num_missing = missing.iter().filter(|&&m| m).count().max(1);
+    let observed_mean = observed.iter().sum::<f64>() / observed.len().max(1) as f64;
+
+    let mut points = Vec::with_capacity(3);
+    for scenario in [
+        BudgetScenario::CheapConstant,
+        BudgetScenario::SimulateDistribution,
+        BudgetScenario::Remeasure,
+    ] {
+        let coverage = scenario.coverage();
+        let to_fix = ((num_missing as f64) * coverage).round() as usize;
+        // The treated data set: observed values plus repaired ones.
+        let mut treated = observed.clone();
+        let mut fixed = 0usize;
+        for (i, &is_missing) in missing.iter().enumerate() {
+            if !is_missing || fixed >= to_fix {
+                continue;
+            }
+            let repair = match scenario {
+                BudgetScenario::CheapConstant => observed_mean,
+                BudgetScenario::SimulateDistribution => {
+                    // Draw from the empirical observed distribution.
+                    observed[rng.gen_range(0..observed.len())]
+                }
+                BudgetScenario::Remeasure => truth[i],
+            };
+            treated.push(repair);
+            fixed += 1;
+        }
+        let distortion = emd_1d_samples(&observed, &treated).expect("non-empty samples");
+        points.push(BudgetPoint {
+            scenario,
+            glitch_improvement_pct: 100.0 * fixed as f64 / num_missing as f64,
+            distortion,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_ordering_matches_figure2() {
+        let points = budget_tradeoff(5000, 0.2, 7);
+        assert_eq!(points.len(), 3);
+        let cheap = &points[0];
+        let medium = &points[1];
+        let expensive = &points[2];
+        assert!((cheap.glitch_improvement_pct - 100.0).abs() < 1e-9);
+        assert!((medium.glitch_improvement_pct - 40.0).abs() < 1.0);
+        assert!((expensive.glitch_improvement_pct - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn distortion_ordering_matches_figure2() {
+        // Average over seeds: the constant spike distorts most; simulating
+        // distorts a little; re-measuring distorts least per glitch fixed.
+        let mut cheap = 0.0;
+        let mut medium = 0.0;
+        let mut expensive = 0.0;
+        for seed in 0..10 {
+            let points = budget_tradeoff(4000, 0.2, seed);
+            cheap += points[0].distortion;
+            medium += points[1].distortion;
+            expensive += points[2].distortion;
+        }
+        assert!(
+            cheap > medium && medium > expensive,
+            "cheap {cheap}, medium {medium}, expensive {expensive}"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = [
+            BudgetScenario::CheapConstant,
+            BudgetScenario::SimulateDistribution,
+            BudgetScenario::Remeasure,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        budget_tradeoff(100, 1.0, 1);
+    }
+}

@@ -1,0 +1,151 @@
+use crate::{statistical_distortion, Experiment, ExperimentConfig, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sd_cleaning::{CompositeStrategy, PartialCleaner};
+use sd_data::Dataset;
+use sd_glitch::{GlitchIndex, GlitchReport};
+
+/// Configuration of the §5.2 / Figure 7 cost study.
+#[derive(Debug, Clone)]
+pub struct CostSweepConfig {
+    /// The base experiment configuration.
+    pub experiment: ExperimentConfig,
+    /// Fractions of series to clean, e.g. `[0.0, 0.2, 0.5, 1.0]`.
+    pub fractions: Vec<f64>,
+    /// The strategy applied to the selected series (the paper uses
+    /// Strategy 1: winsorize + impute).
+    pub strategy: CompositeStrategy,
+}
+
+/// One `(fraction, replication)` point of Figure 7.
+#[derive(Debug, Clone)]
+pub struct CostPoint {
+    /// Fraction of series cleaned (the cost proxy).
+    pub fraction: f64,
+    /// Replication number.
+    pub replication: usize,
+    /// Glitch improvement.
+    pub improvement: f64,
+    /// Statistical distortion.
+    pub distortion: f64,
+    /// Number of series actually cleaned.
+    pub series_cleaned: usize,
+    /// Treated glitch percentages.
+    pub treated_report: GlitchReport,
+}
+
+/// Runs the cost sweep: for each replication and each fraction, clean the
+/// dirtiest `fraction` of series and score the result.
+///
+/// "We ranked each time series according to its aggregated and normalized
+/// glitch score, and cleaned the data from the highest glitch score, until
+/// a pre-determined proportion of the data was cleaned."
+pub fn cost_sweep(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPoint>> {
+    let experiment = Experiment::new(config.experiment.clone());
+    let prepared = experiment.prepare(data)?;
+    let index = GlitchIndex::new(config.experiment.weights);
+
+    let per_replication: Vec<Result<Vec<CostPoint>>> = crate::parallel_map(
+        config.experiment.replications,
+        config.experiment.threads,
+        |i| -> Result<Vec<CostPoint>> {
+            let artifacts = prepared.replication(i);
+            let mut points = Vec::with_capacity(config.fractions.len());
+            for (fi, &fraction) in config.fractions.iter().enumerate() {
+                let cleaner = PartialCleaner::new(index, fraction);
+                let mut cleaned = artifacts.dirty.clone();
+                let mut rng = StdRng::seed_from_u64(
+                    config.experiment.seed ^ ((i as u64) << 24) ^ ((fi as u64) << 52),
+                );
+                let partial = cleaner.clean(
+                    &mut cleaned,
+                    &artifacts.dirty_matrices,
+                    &config.strategy,
+                    &artifacts.context,
+                    &mut rng,
+                );
+                let treated_matrices = artifacts.redetect(&cleaned);
+                let improvement =
+                    index.improvement(&artifacts.dirty_matrices, &treated_matrices);
+                // Working-space distortion, matching
+                // `PreparedExperiment::evaluate`.
+                let distortion = statistical_distortion(
+                    &artifacts.dirty,
+                    &cleaned,
+                    prepared.transforms(),
+                    config.experiment.metric,
+                )?;
+                points.push(CostPoint {
+                    fraction,
+                    replication: i,
+                    improvement,
+                    distortion,
+                    series_cleaned: partial.cleaned_indices.len(),
+                    treated_report: GlitchReport::from_matrices(&treated_matrices),
+                });
+            }
+            Ok(points)
+        },
+    );
+
+    let mut out = Vec::new();
+    for r in per_replication {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_cleaning::paper_strategy;
+    use sd_netsim::{generate, NetsimConfig};
+
+    fn sweep_config() -> CostSweepConfig {
+        let mut experiment = ExperimentConfig::paper_default(15, 5);
+        experiment.replications = 3;
+        experiment.threads = 2;
+        CostSweepConfig {
+            experiment,
+            fractions: vec![0.0, 0.5, 1.0],
+            strategy: paper_strategy(1),
+        }
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        let points = cost_sweep(&data, &sweep_config()).unwrap();
+        assert_eq!(points.len(), 9); // 3 replications × 3 fractions
+    }
+
+    #[test]
+    fn zero_fraction_is_free_and_undistorted() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        let points = cost_sweep(&data, &sweep_config()).unwrap();
+        for p in points.iter().filter(|p| p.fraction == 0.0) {
+            assert_eq!(p.series_cleaned, 0);
+            assert_eq!(p.improvement, 0.0);
+            assert!(p.distortion.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn improvement_grows_with_fraction() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        let points = cost_sweep(&data, &sweep_config()).unwrap();
+        // Compare per-replication so sampling noise cancels.
+        for rep in 0..3 {
+            let by_frac: Vec<&CostPoint> = points
+                .iter()
+                .filter(|p| p.replication == rep)
+                .collect();
+            let f0 = by_frac.iter().find(|p| p.fraction == 0.0).unwrap();
+            let f50 = by_frac.iter().find(|p| p.fraction == 0.5).unwrap();
+            let f100 = by_frac.iter().find(|p| p.fraction == 1.0).unwrap();
+            assert!(f50.improvement >= f0.improvement);
+            assert!(f100.improvement >= f50.improvement * 0.99);
+            assert!(f100.series_cleaned > f50.series_cleaned);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors surfaced by the experimental framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// The ideal partition is empty: no series meets the cleanliness rule.
+    NoIdealData {
+        /// The record-level threshold that was applied.
+        threshold: f64,
+    },
+    /// The dirty partition is empty: everything met the cleanliness rule.
+    NoDirtyData,
+    /// A distortion computation failed.
+    Distortion(String),
+    /// Invalid experiment configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::NoIdealData { threshold } => write!(
+                f,
+                "no series meets the ideal rule (< {:.0} % of each glitch type)",
+                threshold * 100.0
+            ),
+            FrameworkError::NoDirtyData => {
+                write!(f, "no dirty series to clean — everything is already ideal")
+            }
+            FrameworkError::Distortion(msg) => write!(f, "distortion computation failed: {msg}"),
+            FrameworkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FrameworkError::NoIdealData { threshold: 0.05 }
+            .to_string()
+            .contains("5 %"));
+        assert!(FrameworkError::NoDirtyData.to_string().contains("dirty"));
+        assert!(FrameworkError::Distortion("x".into()).to_string().contains("x"));
+        assert!(FrameworkError::InvalidConfig("y".into()).to_string().contains("y"));
+    }
+}

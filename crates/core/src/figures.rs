@@ -1,0 +1,257 @@
+use crate::{Experiment, ExperimentConfig, ExperimentResult, Result};
+use sd_cleaning::{CleaningStrategy, CompositeStrategy};
+use sd_data::Dataset;
+use sd_glitch::{counts_per_time, GlitchType};
+
+/// The Figure 3 data: per-time-step record counts of each glitch type,
+/// aggregated over all replications and samples ("roughly 5000 data points
+/// at any given time" for R = 50, B = 100).
+#[derive(Debug, Clone)]
+pub struct Figure3Data {
+    /// Counts of records with ≥ 1 missing attribute, per time step.
+    pub missing: Vec<usize>,
+    /// Counts for inconsistencies.
+    pub inconsistent: Vec<usize>,
+    /// Counts for outliers.
+    pub outliers: Vec<usize>,
+}
+
+/// Produces the Figure 3 series for an experiment configuration.
+pub fn figure3_series(data: &Dataset, config: &ExperimentConfig) -> Result<Figure3Data> {
+    let prepared = Experiment::new(config.clone()).prepare(data)?;
+    let horizon = data
+        .series()
+        .iter()
+        .map(sd_data::TimeSeries::len)
+        .max()
+        .unwrap_or(0);
+    let per_replication = crate::parallel_map(config.replications, config.threads, |i| {
+        let artifacts = prepared.replication(i);
+        (
+            counts_per_time(&artifacts.dirty_matrices, GlitchType::Missing, horizon),
+            counts_per_time(&artifacts.dirty_matrices, GlitchType::Inconsistent, horizon),
+            counts_per_time(&artifacts.dirty_matrices, GlitchType::Outlier, horizon),
+        )
+    });
+    let mut out = Figure3Data {
+        missing: vec![0; horizon],
+        inconsistent: vec![0; horizon],
+        outliers: vec![0; horizon],
+    };
+    for (m, i, o) in per_replication {
+        for t in 0..horizon {
+            out.missing[t] += m[t];
+            out.inconsistent[t] += i[t];
+            out.outliers[t] += o[t];
+        }
+    }
+    Ok(out)
+}
+
+/// How a cell changed between the dirty and treated data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterPointKind {
+    /// Value present and untouched (the `y = x` diagonal).
+    Unchanged,
+    /// Value was missing in the dirty data and was imputed (the paper's
+    /// gray points along the Y axis).
+    ImputedFromMissing,
+    /// Value was present and was rewritten (winsorized values, or
+    /// inconsistent values replaced by imputation).
+    Rewritten,
+    /// Value missing in both (unimputable residue).
+    StillMissing,
+}
+
+/// One `(untreated, treated)` pair for the Figure 4/5 scatters.
+#[derive(Debug, Clone)]
+pub struct ScatterPoint {
+    /// Dirty value (`None` = missing).
+    pub untreated: Option<f64>,
+    /// Treated value (`None` = missing).
+    pub treated: Option<f64>,
+    /// Classification of the change.
+    pub kind: ScatterPointKind,
+    /// Replication the point came from.
+    pub replication: usize,
+}
+
+/// A named collection of scatter points (one per strategy/configuration).
+#[derive(Debug, Clone)]
+pub struct ScatterPair {
+    /// Label, e.g. the strategy name.
+    pub label: String,
+    /// The points.
+    pub points: Vec<ScatterPoint>,
+}
+
+/// Produces the Figure 4 scatter: attribute `attr` untreated vs. treated
+/// under `strategy`, pooled across replications (capped at `max_points`).
+pub fn figure4_scatter(
+    data: &Dataset,
+    config: &ExperimentConfig,
+    strategy: &CompositeStrategy,
+    attr: usize,
+    max_points: usize,
+) -> Result<ScatterPair> {
+    let prepared = Experiment::new(config.clone()).prepare(data)?;
+    let per_replication = crate::parallel_map(config.replications, config.threads, |i| {
+        let artifacts = prepared.replication(i);
+        let (cleaned, _) = artifacts.apply(strategy, config.seed, 0);
+        let mut points = Vec::new();
+        for (series, treated) in artifacts.dirty.series().iter().zip(cleaned.series()) {
+            for t in 0..series.len() {
+                let u = series.get(attr, t);
+                let c = treated.get(attr, t);
+                let kind = match (u.is_nan(), c.is_nan()) {
+                    (true, false) => ScatterPointKind::ImputedFromMissing,
+                    (true, true) => ScatterPointKind::StillMissing,
+                    (false, true) => ScatterPointKind::Rewritten,
+                    (false, false) => {
+                        if u.to_bits() == c.to_bits() {
+                            ScatterPointKind::Unchanged
+                        } else {
+                            ScatterPointKind::Rewritten
+                        }
+                    }
+                };
+                points.push(ScatterPoint {
+                    untreated: (!u.is_nan()).then_some(u),
+                    treated: (!c.is_nan()).then_some(c),
+                    kind,
+                    replication: i,
+                });
+            }
+        }
+        points
+    });
+    let mut points: Vec<ScatterPoint> = per_replication.into_iter().flatten().collect();
+    if points.len() > max_points {
+        // Deterministic thinning: keep every k-th point.
+        let stride = points.len().div_ceil(max_points);
+        points = points
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, p)| p)
+            .collect();
+    }
+    Ok(ScatterPair {
+        label: strategy.name(),
+        points,
+    })
+}
+
+/// Produces the Figure 5 scatters: attribute `attr` before/after each of
+/// the given strategies (the paper shows Strategies 1 and 2 on
+/// Attribute 3).
+pub fn figure5_scatter(
+    data: &Dataset,
+    config: &ExperimentConfig,
+    strategies: &[CompositeStrategy],
+    attr: usize,
+    max_points: usize,
+) -> Result<Vec<ScatterPair>> {
+    strategies
+        .iter()
+        .map(|s| figure4_scatter(data, config, s, attr, max_points))
+        .collect()
+}
+
+/// The Figure 6 points: simply the experiment outcomes, exposed with the
+/// figure's axes `(improvement in glitch scores, EMD)` per strategy.
+pub fn figure6_points(result: &ExperimentResult) -> Vec<(String, f64, f64)> {
+    result
+        .outcomes()
+        .iter()
+        .map(|o| (o.strategy.clone(), o.improvement, o.distortion))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_cleaning::paper_strategy;
+    use sd_netsim::{generate, NetsimConfig};
+
+    fn config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_default(12, 21);
+        c.replications = 3;
+        c.threads = 2;
+        c
+    }
+
+    fn data() -> Dataset {
+        generate(&NetsimConfig::small(17)).dataset
+    }
+
+    #[test]
+    fn figure3_counts_have_horizon_length() {
+        let d = data();
+        let f3 = figure3_series(&d, &config()).unwrap();
+        assert_eq!(f3.missing.len(), 60);
+        assert_eq!(f3.inconsistent.len(), 60);
+        assert_eq!(f3.outliers.len(), 60);
+        // With 3 replications × 12 series, counts are bounded by 36.
+        assert!(f3.missing.iter().all(|&c| c <= 36));
+        // Dirty samples must actually contain glitches.
+        assert!(f3.missing.iter().sum::<usize>() > 0);
+        assert!(f3.inconsistent.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn figure4_classifies_points() {
+        let d = data();
+        let pair = figure4_scatter(&d, &config(), &paper_strategy(1), 0, 10_000).unwrap();
+        assert_eq!(pair.label, "winsorize and impute");
+        assert!(!pair.points.is_empty());
+        let has_imputed = pair
+            .points
+            .iter()
+            .any(|p| p.kind == ScatterPointKind::ImputedFromMissing);
+        let has_unchanged = pair
+            .points
+            .iter()
+            .any(|p| p.kind == ScatterPointKind::Unchanged);
+        assert!(has_imputed, "imputation must fill some missing values");
+        assert!(has_unchanged, "clean cells must remain on the diagonal");
+        // Imputed-from-missing points have no untreated coordinate.
+        for p in &pair.points {
+            if p.kind == ScatterPointKind::ImputedFromMissing {
+                assert!(p.untreated.is_none() && p.treated.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_max_points_caps_output() {
+        let d = data();
+        let pair = figure4_scatter(&d, &config(), &paper_strategy(1), 0, 50).unwrap();
+        assert!(pair.points.len() <= 50 + 1);
+    }
+
+    #[test]
+    fn figure5_produces_one_pair_per_strategy() {
+        let d = data();
+        let pairs = figure5_scatter(
+            &d,
+            &config(),
+            &[paper_strategy(1), paper_strategy(2)],
+            2,
+            1000,
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_ne!(pairs[0].label, pairs[1].label);
+    }
+
+    #[test]
+    fn figure6_points_mirror_outcomes() {
+        let d = data();
+        let strategies: Vec<_> = (1..=2).map(paper_strategy).collect();
+        let result = Experiment::new(config()).run(&d, &strategies).unwrap();
+        let points = figure6_points(&result);
+        assert_eq!(points.len(), result.outcomes().len());
+        assert!(points.iter().all(|(_, imp, emd)| imp.is_finite() && emd.is_finite()));
+    }
+}

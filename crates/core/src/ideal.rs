@@ -1,0 +1,213 @@
+use crate::{FrameworkError, Result};
+use sd_data::Dataset;
+use sd_glitch::{ConstraintSet, GlitchDetector, GlitchType, OutlierDetector};
+use sd_stats::AttributeTransform;
+
+/// The split of a data set into its ideal and dirty partitions (§2.1.2).
+#[derive(Debug, Clone)]
+pub struct IdealPartition {
+    /// Indices of series meeting the cleanliness rule.
+    pub ideal_indices: Vec<usize>,
+    /// Indices of the remaining (dirty) series.
+    pub dirty_indices: Vec<usize>,
+    /// The record-level threshold applied (fraction, e.g. 0.05).
+    pub threshold: f64,
+}
+
+impl IdealPartition {
+    /// Materializes the ideal partition as a dataset.
+    pub fn ideal_dataset(&self, data: &Dataset) -> Dataset {
+        data.subset(&self.ideal_indices)
+    }
+
+    /// Materializes the dirty partition as a dataset.
+    pub fn dirty_dataset(&self, data: &Dataset) -> Dataset {
+        data.subset(&self.dirty_indices)
+    }
+}
+
+/// Identifies the ideal data set `D_I` from the dirty data itself: series
+/// "where the time series contained less than 5 % each of missing,
+/// inconsistencies and outliers" (§4.1, with `threshold` generalizing the
+/// 5 %).
+///
+/// The rule is circular on its face — outliers are defined by limits
+/// computed *from* the ideal set — so the standard two-pass resolution is
+/// used:
+///
+/// 1. a provisional ideal is selected on missing + inconsistent rates only;
+/// 2. 3-σ limits are fitted to the provisional ideal and the rule is
+///    re-applied including the outlier rate.
+pub fn partition_ideal(
+    data: &Dataset,
+    constraints: &ConstraintSet,
+    transforms: &[AttributeTransform],
+    k: f64,
+    threshold: f64,
+) -> Result<IdealPartition> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(FrameworkError::InvalidConfig(format!(
+            "ideal threshold must be a fraction, got {threshold}"
+        )));
+    }
+    // Pass 1: missing + inconsistent only.
+    let detector = GlitchDetector::new(constraints.clone(), None);
+    let matrices = detector.detect_dataset(data);
+    let rate = |m: &sd_glitch::GlitchMatrix, g: GlitchType| -> f64 {
+        if m.is_empty() {
+            0.0
+        } else {
+            m.count_records(g) as f64 / m.len() as f64
+        }
+    };
+    let provisional: Vec<usize> = (0..data.num_series())
+        .filter(|&i| {
+            rate(&matrices[i], GlitchType::Missing) < threshold
+                && rate(&matrices[i], GlitchType::Inconsistent) < threshold
+        })
+        .collect();
+    if provisional.is_empty() {
+        return Err(FrameworkError::NoIdealData { threshold });
+    }
+
+    // Pass 2: fit outlier limits on the provisional ideal, re-apply.
+    let provisional_ds = data.subset(&provisional);
+    let outliers = OutlierDetector::fit(&provisional_ds, transforms, k);
+    let full_detector = GlitchDetector::new(constraints.clone(), Some(outliers));
+    let full_matrices = full_detector.detect_dataset(data);
+
+    let mut ideal_indices = Vec::new();
+    let mut dirty_indices = Vec::new();
+    for i in 0..data.num_series() {
+        let m = &full_matrices[i];
+        let ok = GlitchType::ALL.iter().all(|&g| rate(m, g) < threshold);
+        if ok {
+            ideal_indices.push(i);
+        } else {
+            dirty_indices.push(i);
+        }
+    }
+    if ideal_indices.is_empty() {
+        return Err(FrameworkError::NoIdealData { threshold });
+    }
+    if dirty_indices.is_empty() {
+        return Err(FrameworkError::NoDirtyData);
+    }
+    Ok(IdealPartition {
+        ideal_indices,
+        dirty_indices,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_data::{NodeId, TimeSeries};
+
+    /// Two clean series, one filthy series.
+    fn mixed() -> Dataset {
+        let mut clean1 = TimeSeries::new(NodeId::new(0, 0, 0), 1, 100);
+        let mut clean2 = TimeSeries::new(NodeId::new(0, 0, 1), 1, 100);
+        let mut filthy = TimeSeries::new(NodeId::new(0, 1, 0), 1, 100);
+        for t in 0..100 {
+            clean1.set(0, t, 50.0 + (t % 10) as f64);
+            clean2.set(0, t, 52.0 + (t % 7) as f64);
+            if t % 3 == 0 {
+                // leave missing
+            } else {
+                filthy.set(0, t, 55.0 + (t % 9) as f64);
+            }
+        }
+        Dataset::new(vec!["a"], vec![clean1, clean2, filthy]).unwrap()
+    }
+
+    #[test]
+    fn partitions_by_missing_rate() {
+        let p = partition_ideal(
+            &mixed(),
+            &ConstraintSet::default(),
+            &[AttributeTransform::Identity],
+            3.0,
+            0.05,
+        )
+        .unwrap();
+        assert_eq!(p.ideal_indices, vec![0, 1]);
+        assert_eq!(p.dirty_indices, vec![2]);
+        assert_eq!(p.ideal_dataset(&mixed()).num_series(), 2);
+        assert_eq!(p.dirty_dataset(&mixed()).num_series(), 1);
+    }
+
+    #[test]
+    fn outlier_pass_can_demote_series() {
+        // A series that is complete and consistent but full of extreme
+        // values relative to the provisional ideal.
+        let mut spiky = TimeSeries::new(NodeId::new(0, 2, 0), 1, 100);
+        for t in 0..100 {
+            spiky.set(0, t, if t % 4 == 0 { 1e6 } else { 50.0 });
+        }
+        let mut data = mixed();
+        data.push(spiky).unwrap();
+        let p = partition_ideal(
+            &data,
+            &ConstraintSet::default(),
+            &[AttributeTransform::Identity],
+            3.0,
+            0.05,
+        )
+        .unwrap();
+        assert!(p.dirty_indices.contains(&3), "spiky series must be dirty");
+        assert!(p.ideal_indices.contains(&0));
+    }
+
+    #[test]
+    fn all_dirty_is_an_error() {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 0), 1, 10);
+        for t in 0..10 {
+            if t % 2 == 0 {
+                s.set(0, t, 1.0);
+            }
+        }
+        let data = Dataset::new(vec!["a"], vec![s]).unwrap();
+        let err = partition_ideal(
+            &data,
+            &ConstraintSet::default(),
+            &[AttributeTransform::Identity],
+            3.0,
+            0.05,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameworkError::NoIdealData { .. }));
+    }
+
+    #[test]
+    fn all_clean_is_an_error() {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 0), 1, 10);
+        for t in 0..10 {
+            s.set(0, t, 5.0 + t as f64 * 0.01);
+        }
+        let data = Dataset::new(vec!["a"], vec![s]).unwrap();
+        let err = partition_ideal(
+            &data,
+            &ConstraintSet::default(),
+            &[AttributeTransform::Identity],
+            3.0,
+            0.05,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameworkError::NoDirtyData));
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let err = partition_ideal(
+            &mixed(),
+            &ConstraintSet::default(),
+            &[AttributeTransform::Identity],
+            3.0,
+            5.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameworkError::InvalidConfig(_)));
+    }
+}

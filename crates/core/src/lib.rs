@@ -1,0 +1,73 @@
+//! The paper's contribution: **statistical distortion** and the
+//! three-dimensional experimental framework for evaluating data-cleaning
+//! strategies.
+//!
+//! Definition 1 (§2.1.4): if cleaning strategy `C` applied to data set `D`
+//! yields `D_C`, the statistical distortion of `C` on `D` is
+//! `S(C, D) = d(D, D_C)` — a distance between the two empirical
+//! distributions. The framework evaluates candidate strategies along three
+//! axes:
+//!
+//! 1. **glitch improvement** `G(D) − G(D_C)` (weighted glitch index,
+//!    [`sd_glitch::GlitchIndex`]);
+//! 2. **statistical distortion** — EMD by default
+//!    ([`DistortionMetric::Emd`]), with KL divergence and Mahalanobis
+//!    distance as the alternatives Definition 1 names;
+//! 3. **cost** — proxied by the fraction of data cleaned (§5.2).
+//!
+//! [`Experiment`] orchestrates the §4 protocol end to end: identify the
+//! ideal partition (< 5 % of each glitch type), draw `R` replication test
+//! pairs of `B` series each, calibrate detectors and cleaning context on
+//! the ideal sample, clean with each candidate strategy, and score every
+//! `(strategy, replication)` pair. [`tables`] and [`figures`] produce the
+//! exact data behind Table 1 and Figures 2–7.
+//!
+//! ```no_run
+//! use sd_core::{Experiment, ExperimentConfig};
+//! use sd_cleaning::paper_strategy;
+//! use sd_netsim::{generate, NetsimConfig};
+//!
+//! let data = generate(&NetsimConfig::harness_scale(7)).dataset;
+//! let config = ExperimentConfig::paper_default(100, 42);
+//! let experiment = Experiment::new(config);
+//! let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+//! let result = experiment.run(&data, &strategies).unwrap();
+//! for outcome in result.outcomes() {
+//!     println!(
+//!         "{} rep {}: improvement {:.2}, distortion {:.3}",
+//!         outcome.strategy, outcome.replication, outcome.improvement, outcome.distortion
+//!     );
+//! }
+//! ```
+
+// Index-based loops are the clearer idiom in the dense numeric kernels
+// of this crate.
+#![allow(clippy::needless_range_loop)]
+
+mod budget;
+mod cost;
+mod distortion;
+mod error;
+mod experiment;
+mod figures;
+mod ideal;
+mod runner;
+mod tables;
+
+pub use budget::{budget_tradeoff, BudgetPoint, BudgetScenario};
+pub use cost::{cost_sweep, CostPoint, CostSweepConfig};
+pub use distortion::{statistical_distortion, DistortionMetric};
+pub use error::FrameworkError;
+pub use experiment::{
+    Experiment, ExperimentConfig, ExperimentResult, ReplicationArtifacts, StrategyOutcome,
+};
+pub use figures::{
+    figure3_series, figure4_scatter, figure5_scatter, figure6_points, Figure3Data, ScatterPair,
+    ScatterPoint, ScatterPointKind,
+};
+pub use ideal::{partition_ideal, IdealPartition};
+pub use runner::parallel_map;
+pub use tables::{table1, Table1Config, Table1Row};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, FrameworkError>;

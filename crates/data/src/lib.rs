@@ -1,0 +1,70 @@
+//! Hierarchical network time-series data model.
+//!
+//! The paper (§3.1) studies data streams collected on a three-layer
+//! mobility-network hierarchy: an RNC (`N_i`) contains cell towers / Node Bs
+//! (`N_ij`), which contain sectors (antennas, `N_ijk`). Each sector emits a
+//! time series of `v` attributes; analyses operate on the current `w`-step
+//! window of the stream.
+//!
+//! This crate provides that model:
+//!
+//! * [`NodeId`] — fully-qualified sector address within the hierarchy;
+//! * [`Topology`] — layer sizes plus enumeration and neighbour queries;
+//! * [`TimeSeries`] — one sector's `v × T` stream, column-major with
+//!   NaN-as-missing;
+//! * [`Dataset`] — a collection of series with attribute metadata, plus
+//!   record pooling (the paper computes EMD "treating each time instance as
+//!   a separate data point");
+//! * [`Window`] — a borrowed `w`-step history view `F^w_t`.
+//!
+//! ```
+//! use sd_data::{Dataset, NodeId, TimeSeries};
+//!
+//! let mut series = TimeSeries::new(NodeId::new(0, 1, 2), 3, 4);
+//! series.set(0, 0, 10.0);
+//! series.set_missing(1, 0);
+//! assert!(series.is_missing(1, 0));
+//!
+//! let ds = Dataset::new(vec!["load", "volume", "ratio"], vec![series]).unwrap();
+//! assert_eq!(ds.num_series(), 1);
+//! assert_eq!(ds.num_attributes(), 3);
+//! ```
+
+mod dataset;
+mod node;
+mod series;
+mod topology;
+mod window;
+
+pub use dataset::{AttributeMeta, Dataset, DataError};
+pub use node::{NodeId, RncId, TowerId};
+pub use series::{Record, TimeSeries};
+pub use topology::Topology;
+pub use window::Window;
+
+/// Sentinel used to represent a missing (unpopulated) measurement.
+///
+/// NaN is the natural missing marker for telemetry: it propagates through
+/// arithmetic and cannot be confused with any legitimate KPI value. All
+/// comparisons in this workspace go through [`is_missing`] /
+/// [`TimeSeries::is_missing`] rather than raw equality.
+pub const MISSING: f64 = f64::NAN;
+
+/// Whether a value represents a missing measurement.
+#[inline]
+pub fn is_missing(x: f64) -> bool {
+    x.is_nan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_sentinel_is_detected() {
+        assert!(is_missing(MISSING));
+        assert!(is_missing(f64::NAN));
+        assert!(!is_missing(0.0));
+        assert!(!is_missing(f64::INFINITY));
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{is_missing, TimeSeries};
+
+/// A borrowed `w`-step history window `F^w_t`: the values of one series for
+/// times `t - w, …, t - 1` (§3.1).
+///
+/// Windows never include time `t` itself — they are the history available
+/// when a streaming detector examines the arrival at `t`.
+#[derive(Debug, Clone, Copy)]
+pub struct Window<'a> {
+    series: &'a TimeSeries,
+    /// First time index included.
+    start: usize,
+    /// One past the last time index included (= `t`).
+    end: usize,
+}
+
+impl<'a> Window<'a> {
+    /// The `w`-step history before `t`, clipped at the start of the series.
+    ///
+    /// For `t = 0` the window is empty; for `t < w` it is the full prefix.
+    pub fn history(series: &'a TimeSeries, t: usize, w: usize) -> Self {
+        assert!(t <= series.len(), "window anchored past end of series");
+        Window {
+            series,
+            start: t.saturating_sub(w),
+            end: t,
+        }
+    }
+
+    /// A window spanning the whole series (batch analyses).
+    pub fn full(series: &'a TimeSeries) -> Self {
+        Window {
+            series,
+            start: 0,
+            end: series.len(),
+        }
+    }
+
+    /// Number of time steps covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window covers no time steps.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &TimeSeries {
+        self.series
+    }
+
+    /// Contiguous slice of one attribute over the window.
+    pub fn attribute(&self, attr: usize) -> &[f64] {
+        &self.series.attribute(attr)[self.start..self.end]
+    }
+
+    /// Present (non-missing) values of one attribute over the window.
+    pub fn present(&self, attr: usize) -> impl Iterator<Item = f64> + '_ {
+        self.attribute(attr).iter().copied().filter(|&x| !is_missing(x))
+    }
+
+    /// Mean of present values of one attribute, if any are present.
+    pub fn mean(&self, attr: usize) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for x in self.present(attr) {
+            sum += x;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Sample standard deviation of present values (requires ≥ 2 present).
+    pub fn std_dev(&self, attr: usize) -> Option<f64> {
+        let mean = self.mean(attr)?;
+        let mut n = 0usize;
+        let mut ss = 0.0;
+        for x in self.present(attr) {
+            ss += (x - mean) * (x - mean);
+            n += 1;
+        }
+        (n >= 2).then(|| (ss / (n as f64 - 1.0)).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from_columns(
+            NodeId::new(0, 0, 0),
+            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![10.0, f64::NAN, 30.0, 40.0, 50.0]],
+        )
+    }
+
+    #[test]
+    fn history_excludes_t() {
+        let s = series();
+        let w = Window::history(&s, 3, 2);
+        assert_eq!(w.attribute(0), &[2.0, 3.0]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn history_clips_at_start() {
+        let s = series();
+        let w = Window::history(&s, 1, 10);
+        assert_eq!(w.attribute(0), &[1.0]);
+        let w0 = Window::history(&s, 0, 3);
+        assert!(w0.is_empty());
+    }
+
+    #[test]
+    fn full_window_covers_series() {
+        let s = series();
+        let w = Window::full(&s);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.attribute(0), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn present_skips_missing() {
+        let s = series();
+        let w = Window::full(&s);
+        let vals: Vec<f64> = w.present(1).collect();
+        assert_eq!(vals, vec![10.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        let s = series();
+        let w = Window::full(&s);
+        assert_eq!(w.mean(0), Some(3.0));
+        let sd = w.std_dev(0).unwrap();
+        assert!((sd - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(w.mean(1), Some(32.5));
+    }
+
+    #[test]
+    fn empty_window_has_no_stats() {
+        let s = series();
+        let w = Window::history(&s, 0, 4);
+        assert_eq!(w.mean(0), None);
+        assert_eq!(w.std_dev(0), None);
+    }
+
+    #[test]
+    fn single_value_has_mean_but_no_std() {
+        let s = series();
+        let w = Window::history(&s, 1, 1);
+        assert_eq!(w.mean(0), Some(1.0));
+        assert_eq!(w.std_dev(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn anchor_past_end_panics() {
+        let s = series();
+        Window::history(&s, 6, 1);
+    }
+}

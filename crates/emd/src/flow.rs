@@ -1,0 +1,306 @@
+use crate::{EmdError, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-cost-flow EMD solver: successive shortest paths with Johnson
+/// potentials over the bipartite transportation network.
+///
+/// Asymptotically slower than the transportation simplex but structurally
+/// independent of it — the test suite cross-validates the two solvers on
+/// random instances, which is the main reason this implementation exists.
+/// It is also the solver of choice when the instance is tiny.
+#[derive(Debug)]
+pub struct MinCostFlow {
+    n: usize,
+    m: usize,
+    /// Adjacency: per node, indices into `edges`.
+    graph: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    cost: f64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+}
+
+/// Max-heap entry ordered by smallest distance first.
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour; total_cmp for NaN safety.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+const MASS_EPS: f64 = 1e-12;
+
+impl MinCostFlow {
+    /// Builds the transportation network for `supply → demand` with the
+    /// given row-major cost matrix, including a super-source (node
+    /// `n + m`) and super-sink (node `n + m + 1`).
+    pub fn new(supply: Vec<f64>, demand: Vec<f64>, cost: Vec<f64>) -> Result<Self> {
+        let n = supply.len();
+        let m = demand.len();
+        if n == 0 || m == 0 {
+            return Err(EmdError::EmptyInput);
+        }
+        if cost.len() != n * m {
+            return Err(EmdError::CostShape {
+                expected: (n, m),
+                got: (cost.len() / m.max(1), m),
+            });
+        }
+        for &w in supply.iter().chain(demand.iter()) {
+            if !w.is_finite() || w < 0.0 {
+                return Err(EmdError::InvalidWeight { value: w });
+            }
+        }
+        for &c in &cost {
+            if !c.is_finite() || c < 0.0 {
+                return Err(EmdError::InvalidWeight { value: c });
+            }
+        }
+        let ts: f64 = supply.iter().sum();
+        let td: f64 = demand.iter().sum();
+        if ts <= 0.0 || td <= 0.0 {
+            return Err(EmdError::EmptyInput);
+        }
+        if ((ts - td) / ts.max(td)).abs() > 1e-6 {
+            return Err(EmdError::Unbalanced {
+                supply: ts,
+                demand: td,
+            });
+        }
+
+        let num_nodes = n + m + 2;
+        let source = n + m;
+        let sink = n + m + 1;
+        let mut mcf = MinCostFlow {
+            n,
+            m,
+            graph: vec![Vec::new(); num_nodes],
+            edges: Vec::with_capacity(2 * (n + m + n * m)),
+        };
+        for (i, &s) in supply.iter().enumerate() {
+            mcf.add_edge(source, i, s, 0.0);
+        }
+        // Rescale demand for exact balance.
+        let scale = ts / td;
+        for (j, &d) in demand.iter().enumerate() {
+            mcf.add_edge(n + j, sink, d * scale, 0.0);
+        }
+        for i in 0..n {
+            for j in 0..m {
+                mcf.add_edge(i, n + j, f64::INFINITY, cost[i * m + j]);
+            }
+        }
+        Ok(mcf)
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) {
+        let fwd = self.edges.len();
+        self.edges.push(Edge {
+            to,
+            cap,
+            cost,
+            rev: fwd + 1,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0.0,
+            cost: -cost,
+            rev: fwd,
+        });
+        self.graph[from].push(fwd);
+        self.graph[to].push(fwd + 1);
+    }
+
+    /// Ships all supply at minimum cost and returns the normalized EMD
+    /// (`total cost / total mass`).
+    pub fn solve(&mut self) -> Result<f64> {
+        let num_nodes = self.graph.len();
+        let source = self.n + self.m;
+        let sink = source + 1;
+        let total_mass: f64 = self.graph[source]
+            .iter()
+            .map(|&e| self.edges[e].cap)
+            .sum();
+
+        let mut potential = vec![0.0f64; num_nodes];
+        let mut total_cost = 0.0;
+        let mut shipped = 0.0;
+
+        while total_mass - shipped > MASS_EPS {
+            // Dijkstra on reduced costs.
+            let mut dist = vec![f64::INFINITY; num_nodes];
+            let mut prev_edge: Vec<Option<usize>> = vec![None; num_nodes];
+            dist[source] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: source,
+            });
+            while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+                if d > dist[node] {
+                    continue;
+                }
+                for &eidx in &self.graph[node] {
+                    let e = &self.edges[eidx];
+                    if e.cap <= MASS_EPS {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[node] - potential[e.to];
+                    if nd < dist[e.to] - 1e-15 {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = Some(eidx);
+                        heap.push(HeapEntry {
+                            dist: nd,
+                            node: e.to,
+                        });
+                    }
+                }
+            }
+            if dist[sink].is_infinite() {
+                return Err(EmdError::NoConvergence { iterations: 0 });
+            }
+            for v in 0..num_nodes {
+                if dist[v].is_finite() {
+                    potential[v] += dist[v];
+                }
+            }
+            // Find bottleneck along the path.
+            let mut bottleneck = total_mass - shipped;
+            let mut node = sink;
+            while node != source {
+                let eidx = prev_edge[node].expect("broken path");
+                bottleneck = bottleneck.min(self.edges[eidx].cap);
+                node = {
+                    let rev = self.edges[eidx].rev;
+                    self.edges[rev].to
+                };
+            }
+            // Augment.
+            let mut node = sink;
+            while node != source {
+                let eidx = prev_edge[node].expect("broken path");
+                let rev = self.edges[eidx].rev;
+                self.edges[eidx].cap -= bottleneck;
+                self.edges[rev].cap += bottleneck;
+                total_cost += bottleneck * self.edges[eidx].cost;
+                node = self.edges[rev].to;
+            }
+            shipped += bottleneck;
+        }
+        Ok(total_cost / total_mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransportProblem;
+
+    fn flow_solve(s: Vec<f64>, d: Vec<f64>, c: Vec<f64>) -> f64 {
+        MinCostFlow::new(s, d, c).unwrap().solve().unwrap()
+    }
+
+    #[test]
+    fn single_cell() {
+        assert!((flow_solve(vec![2.0], vec![2.0], vec![1.5]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_assignment_is_free() {
+        let d = flow_solve(
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 9.0, 9.0, 0.0],
+        );
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_shipment() {
+        let d = flow_solve(vec![1.0], vec![0.25, 0.75], vec![2.0, 4.0]);
+        assert!((d - (0.25 * 2.0 + 0.75 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_simplex_on_random_instances() {
+        // Deterministic pseudo-random instances via a simple LCG.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..20 {
+            let n = 2 + (trial % 5);
+            let m = 2 + (trial % 4);
+            let mut supply: Vec<f64> = (0..n).map(|_| 0.05 + next()).collect();
+            let mut demand: Vec<f64> = (0..m).map(|_| 0.05 + next()).collect();
+            let st: f64 = supply.iter().sum();
+            let dt: f64 = demand.iter().sum();
+            for s in &mut supply {
+                *s /= st;
+            }
+            for d in &mut demand {
+                *d /= dt;
+            }
+            let cost: Vec<f64> = (0..n * m).map(|_| next() * 10.0).collect();
+            let via_flow = flow_solve(supply.clone(), demand.clone(), cost.clone());
+            let via_simplex = TransportProblem::new(supply, demand, cost)
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (via_flow - via_simplex).abs() < 1e-8,
+                "trial {trial}: flow {via_flow} vs simplex {via_simplex}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_negative_cost() {
+        assert!(matches!(
+            MinCostFlow::new(vec![1.0], vec![1.0], vec![-1.0]),
+            Err(EmdError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(matches!(
+            MinCostFlow::new(vec![1.0], vec![3.0], vec![1.0]),
+            Err(EmdError::Unbalanced { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_mass_rows_are_skipped() {
+        let d = flow_solve(
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![9.0, 9.0, 1.0, 3.0],
+        );
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+}

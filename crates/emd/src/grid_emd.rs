@@ -1,0 +1,352 @@
+use crate::{sinkhorn, EmdError, Result, Signature, SinkhornParams, TransportProblem};
+use sd_stats::{GridHistogram, GridSpec};
+
+/// How cell-centre coordinates are scaled before computing ground
+/// distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceScaling {
+    /// Use raw data coordinates. Appropriate when all attributes share a
+    /// scale (e.g. the per-attribute distortion plots).
+    Raw,
+    /// Divide each axis by its grid range so every attribute contributes
+    /// comparably — telemetry KPIs span wildly different magnitudes
+    /// (volumes vs ratios), and without normalization the largest-scale
+    /// attribute dominates the distance.
+    Normalized,
+}
+
+/// How the shared grid's axis ranges are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoverRule {
+    /// Span the exact min–max of the union.
+    MinMax,
+    /// Span the `[qlo, qhi]` quantile range of the union; values outside
+    /// clamp into the edge bins.
+    Quantile(f64, f64),
+    /// Span `median ± z · IQR` of the union (robust to heavy tails);
+    /// values outside clamp into the edge bins.
+    Robust {
+        /// Half-width in IQR units.
+        z: f64,
+    },
+}
+
+/// Which solver produced a [`GridEmdReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverUsed {
+    /// Exact transportation simplex.
+    Simplex,
+    /// Entropic Sinkhorn approximation (signature exceeded
+    /// `max_exact_cells`).
+    Sinkhorn,
+}
+
+/// End-to-end multidimensional EMD between two point clouds.
+///
+/// This is the concrete realization of the paper's statistical-distortion
+/// measure: pool the `v`-tuples of the dirty and cleaned data sets,
+/// quantize both onto one shared grid (so both distributions share a
+/// support, as Definition 1 requires), and solve the transportation problem
+/// between the occupied cells.
+#[derive(Debug, Clone)]
+pub struct GridEmd {
+    bins_per_axis: usize,
+    scaling: DistanceScaling,
+    /// When `occupied_a * occupied_b` exceeds this, fall back to Sinkhorn.
+    max_exact_cells: usize,
+    sinkhorn_params: SinkhornParams,
+    /// How the per-axis ranges are chosen.
+    cover: CoverRule,
+}
+
+/// The result of a [`GridEmd::distance`] computation, with enough
+/// diagnostics to audit the quantization.
+#[derive(Debug, Clone)]
+pub struct GridEmdReport {
+    /// The Earth Mover's Distance.
+    pub emd: f64,
+    /// Occupied grid cells in the first cloud.
+    pub occupied_a: usize,
+    /// Occupied grid cells in the second cloud.
+    pub occupied_b: usize,
+    /// Points skipped (missing coordinate) in the first cloud.
+    pub skipped_a: usize,
+    /// Points skipped in the second cloud.
+    pub skipped_b: usize,
+    /// Which solver was used.
+    pub solver: SolverUsed,
+}
+
+impl Default for GridEmd {
+    fn default() -> Self {
+        GridEmd {
+            bins_per_axis: 8,
+            scaling: DistanceScaling::Normalized,
+            max_exact_cells: 400_000,
+            sinkhorn_params: SinkhornParams::default(),
+            // Telemetry has extreme spikes; the robust cover keeps the
+            // bulk resolved while tails clamp into the edge bins.
+            cover: CoverRule::Robust { z: 5.0 },
+        }
+    }
+}
+
+impl GridEmd {
+    /// Creates a pipeline with `bins_per_axis` bins on every axis and
+    /// normalized distance scaling.
+    pub fn new(bins_per_axis: usize) -> Self {
+        assert!(bins_per_axis >= 1, "need at least one bin per axis");
+        GridEmd {
+            bins_per_axis,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the distance scaling.
+    pub fn with_scaling(mut self, scaling: DistanceScaling) -> Self {
+        self.scaling = scaling;
+        self
+    }
+
+    /// Sets the exact-solver budget (product of occupied cell counts).
+    pub fn with_max_exact_cells(mut self, cells: usize) -> Self {
+        self.max_exact_cells = cells;
+        self
+    }
+
+    /// Sets the Sinkhorn fallback parameters.
+    pub fn with_sinkhorn_params(mut self, params: SinkhornParams) -> Self {
+        self.sinkhorn_params = params;
+        self
+    }
+
+    /// Sets the axis-cover rule (out-of-range values clamp into the edge
+    /// bins for the quantile and robust rules).
+    pub fn with_cover(mut self, cover: CoverRule) -> Self {
+        if let CoverRule::Quantile(qlo, qhi) = cover {
+            assert!(
+                (0.0..=1.0).contains(&qlo) && (0.0..=1.0).contains(&qhi) && qlo < qhi,
+                "quantiles must satisfy 0 <= qlo < qhi <= 1"
+            );
+        }
+        if let CoverRule::Robust { z } = cover {
+            assert!(z > 0.0, "z must be positive");
+        }
+        self.cover = cover;
+        self
+    }
+
+    /// Bins per axis.
+    pub fn bins_per_axis(&self) -> usize {
+        self.bins_per_axis
+    }
+
+    /// EMD between two clouds of equal-dimension points (rows). Rows with
+    /// any missing (NaN) coordinate are excluded from the density and
+    /// reported in the diagnostics.
+    pub fn distance(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<GridEmdReport> {
+        let spec = match self.cover {
+            CoverRule::MinMax => GridSpec::covering(a, b, self.bins_per_axis),
+            CoverRule::Quantile(qlo, qhi) => {
+                GridSpec::covering_quantiles(a, b, self.bins_per_axis, qlo, qhi)
+            }
+            CoverRule::Robust { z } => GridSpec::covering_robust(a, b, self.bins_per_axis, z),
+        }
+        .ok_or(EmdError::EmptyInput)?;
+        let ha = GridHistogram::from_points(spec.clone(), a);
+        let hb = GridHistogram::from_points(spec.clone(), b);
+        if ha.total() == 0.0 || hb.total() == 0.0 {
+            return Err(EmdError::EmptyInput);
+        }
+
+        let scale: Vec<f64> = match self.scaling {
+            DistanceScaling::Raw => vec![1.0; spec.dim()],
+            DistanceScaling::Normalized => spec
+                .axes()
+                .iter()
+                .map(|ax| {
+                    let range = ax.hi - ax.lo;
+                    if range > 0.0 {
+                        range
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        };
+
+        let sig_a = scaled_signature(&ha, &scale)?;
+        let sig_b = scaled_signature(&hb, &scale)?;
+
+        let cost = crate::ground_distance_matrix(sig_a.points(), sig_b.points());
+        let exact = sig_a.len() * sig_b.len() <= self.max_exact_cells;
+        let emd = if exact {
+            TransportProblem::new(
+                sig_a.normalized_weights(),
+                sig_b.normalized_weights(),
+                cost,
+            )?
+            .solve()?
+        } else {
+            // Debiased Sinkhorn divergence: the raw entropic cost has a
+            // positive floor even for identical distributions (the plan is
+            // deliberately blurry), which would swamp small distances.
+            // Subtracting the self-transport terms removes that floor:
+            //   S(a,b) − ½ S(a,a) − ½ S(b,b).
+            let wa = sig_a.normalized_weights();
+            let wb = sig_b.normalized_weights();
+            let ab = sinkhorn(&wa, &wb, &cost, self.sinkhorn_params)?;
+            let cost_aa = crate::ground_distance_matrix(sig_a.points(), sig_a.points());
+            let cost_bb = crate::ground_distance_matrix(sig_b.points(), sig_b.points());
+            let aa = sinkhorn(&wa, &wa, &cost_aa, self.sinkhorn_params)?;
+            let bb = sinkhorn(&wb, &wb, &cost_bb, self.sinkhorn_params)?;
+            (ab - 0.5 * aa - 0.5 * bb).max(0.0)
+        };
+
+        Ok(GridEmdReport {
+            emd,
+            occupied_a: ha.occupied(),
+            occupied_b: hb.occupied(),
+            skipped_a: ha.skipped(),
+            skipped_b: hb.skipped(),
+            solver: if exact {
+                SolverUsed::Simplex
+            } else {
+                SolverUsed::Sinkhorn
+            },
+        })
+    }
+}
+
+fn scaled_signature(hist: &GridHistogram, scale: &[f64]) -> Result<Signature> {
+    let pairs = hist.signature();
+    let scaled: Vec<(Vec<f64>, f64)> = pairs
+        .into_iter()
+        .map(|(mut point, w)| {
+            for (x, s) in point.iter_mut().zip(scale) {
+                *x /= s;
+            }
+            (point, w)
+        })
+        .collect();
+    Signature::from_pairs(scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(points: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        points.iter().map(|&(x, y)| vec![x, y]).collect()
+    }
+
+    #[test]
+    fn identical_clouds_have_zero_distance() {
+        let a = cloud(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        let report = GridEmd::new(4).distance(&a, &a).unwrap();
+        assert!(report.emd.abs() < 1e-12);
+        assert_eq!(report.solver, SolverUsed::Simplex);
+        assert_eq!(report.occupied_a, report.occupied_b);
+    }
+
+    #[test]
+    fn shifted_cloud_has_positive_distance() {
+        let a = cloud(&[(0.0, 0.0), (0.1, 0.1), (0.2, 0.0)]);
+        let b = cloud(&[(5.0, 5.0), (5.1, 5.1), (5.2, 5.0)]);
+        let report = GridEmd::new(8)
+            .with_cover(CoverRule::MinMax)
+            .distance(&a, &b)
+            .unwrap();
+        assert!(report.emd > 0.5);
+        // The robust cover widens the axes, shrinking normalized distances
+        // but never erasing them.
+        let robust = GridEmd::new(8).distance(&a, &b).unwrap();
+        assert!(robust.emd > 0.05 && robust.emd <= report.emd + 1e-12);
+    }
+
+    #[test]
+    fn distance_grows_with_shift() {
+        let base = cloud(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let near = cloud(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let far = cloud(&[(7.0, 0.0), (8.0, 0.0), (9.0, 0.0)]);
+        let g = GridEmd::new(16).with_scaling(DistanceScaling::Raw);
+        let d_near = g.distance(&base, &near).unwrap().emd;
+        let d_far = g.distance(&base, &far).unwrap().emd;
+        assert!(d_far > d_near, "{d_far} vs {d_near}");
+    }
+
+    #[test]
+    fn raw_scaling_matches_1d_emd_for_line_clouds() {
+        // Points along one axis; grid EMD with fine bins ≈ exact 1-D EMD.
+        let a: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 0.0]).collect();
+        let b: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 + 10.0, 0.0]).collect();
+        let g = GridEmd::new(64)
+            .with_scaling(DistanceScaling::Raw)
+            .with_cover(CoverRule::MinMax);
+        let grid_d = g.distance(&a, &b).unwrap().emd;
+        let a1: Vec<f64> = a.iter().map(|p| p[0]).collect();
+        let b1: Vec<f64> = b.iter().map(|p| p[0]).collect();
+        let exact = crate::emd_1d_samples(&a1, &b1).unwrap();
+        // Quantization error is bounded by the bin diagonal.
+        assert!(
+            (grid_d - exact).abs() < 2.0,
+            "grid {grid_d} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn missing_coordinates_are_skipped_and_reported() {
+        let mut a = cloud(&[(0.0, 0.0), (1.0, 1.0)]);
+        a.push(vec![f64::NAN, 0.5]);
+        let b = cloud(&[(0.0, 0.0), (1.0, 1.0)]);
+        let report = GridEmd::new(4).distance(&a, &b).unwrap();
+        assert_eq!(report.skipped_a, 1);
+        assert_eq!(report.skipped_b, 0);
+    }
+
+    #[test]
+    fn empty_or_all_missing_cloud_is_an_error() {
+        let a = cloud(&[(0.0, 0.0)]);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(matches!(
+            GridEmd::new(4).distance(&a, &empty),
+            Err(EmdError::EmptyInput)
+        ));
+        let all_missing = vec![vec![f64::NAN, f64::NAN]];
+        assert!(GridEmd::new(4).distance(&a, &all_missing).is_err());
+    }
+
+    #[test]
+    fn sinkhorn_fallback_engages_when_budget_exceeded() {
+        let a: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+            .collect();
+        let b: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64 + 0.4, (i / 8) as f64])
+            .collect();
+        let report = GridEmd::new(8)
+            .with_max_exact_cells(4)
+            .with_sinkhorn_params(SinkhornParams {
+                regularization: 0.1,
+                max_iterations: 50_000,
+                tolerance: 1e-8,
+            })
+            .distance(&a, &b)
+            .unwrap();
+        assert_eq!(report.solver, SolverUsed::Sinkhorn);
+        assert!(report.emd.is_finite());
+    }
+
+    #[test]
+    fn normalized_scaling_is_insensitive_to_axis_units() {
+        // Same shape, one axis measured in different units.
+        let a1 = cloud(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let b1 = cloud(&[(1.0, 0.0), (2.0, 1.0), (3.0, 0.0)]);
+        let a2: Vec<Vec<f64>> = a1.iter().map(|p| vec![p[0] * 1000.0, p[1]]).collect();
+        let b2: Vec<Vec<f64>> = b1.iter().map(|p| vec![p[0] * 1000.0, p[1]]).collect();
+        let g = GridEmd::new(8).with_scaling(DistanceScaling::Normalized);
+        let d1 = g.distance(&a1, &b1).unwrap().emd;
+        let d2 = g.distance(&a2, &b2).unwrap().emd;
+        assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+    }
+}

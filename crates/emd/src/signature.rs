@@ -1,0 +1,183 @@
+use crate::{EmdError, Result};
+
+/// A discrete distribution: weighted points in `R^d`.
+///
+/// This is the "signature" representation from the EMD literature — the
+/// occupied cells of a histogram with their masses. Produced by
+/// [`sd_stats::GridHistogram::signature`] and consumed by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    points: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Signature {
+    /// Creates a signature. Requires at least one point, equal-length
+    /// point/weight vectors, consistent dimensions, and non-negative finite
+    /// weights with positive total mass.
+    pub fn new(points: Vec<Vec<f64>>, weights: Vec<f64>) -> Result<Self> {
+        if points.is_empty() || points.len() != weights.len() {
+            return Err(EmdError::EmptyInput);
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(EmdError::EmptyInput);
+        }
+        for p in &points {
+            if p.len() != dim {
+                return Err(EmdError::DimensionMismatch {
+                    expected: dim,
+                    got: p.len(),
+                });
+            }
+            if p.iter().any(|x| !x.is_finite()) {
+                return Err(EmdError::InvalidWeight { value: f64::NAN });
+            }
+        }
+        let mut total = 0.0;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(EmdError::InvalidWeight { value: w });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(EmdError::InvalidWeight { value: total });
+        }
+        Ok(Signature {
+            points,
+            weights,
+            total,
+        })
+    }
+
+    /// Builds a signature from `(point, weight)` pairs, e.g. the output of
+    /// [`sd_stats::GridHistogram::signature`].
+    pub fn from_pairs(pairs: Vec<(Vec<f64>, f64)>) -> Result<Self> {
+        let (points, weights) = pairs.into_iter().unzip();
+        Signature::new(points, weights)
+    }
+
+    /// Number of weighted points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the signature holds no points (never true for a constructed
+    /// signature; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the points.
+    pub fn dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The raw weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Weights rescaled to sum to exactly 1.
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        self.weights.iter().map(|w| w / self.total).collect()
+    }
+}
+
+/// Euclidean distance between two points of equal dimension.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Dense ground-distance matrix `c[i][j] = ‖p_i − q_j‖₂` between two point
+/// sets, flattened row-major (`i * m + j`).
+pub fn ground_distance_matrix(p: &[Vec<f64>], q: &[Vec<f64>]) -> Vec<f64> {
+    let mut cost = Vec::with_capacity(p.len() * q.len());
+    for pi in p {
+        for qj in q {
+            cost.push(euclidean(pi, qj));
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_signature() {
+        let s = Signature::new(vec![vec![0.0, 1.0], vec![2.0, 3.0]], vec![1.0, 3.0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.total(), 4.0);
+        let nw = s.normalized_weights();
+        assert!((nw[0] - 0.25).abs() < 1e-15);
+        assert!((nw[1] - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(matches!(
+            Signature::new(vec![], vec![]),
+            Err(EmdError::EmptyInput)
+        ));
+        assert!(Signature::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(matches!(
+            Signature::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.5, 0.5]),
+            Err(EmdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(matches!(
+            Signature::new(vec![vec![1.0]], vec![-1.0]),
+            Err(EmdError::InvalidWeight { .. })
+        ));
+        assert!(Signature::new(vec![vec![1.0]], vec![f64::NAN]).is_err());
+        assert!(Signature::new(vec![vec![1.0]], vec![0.0]).is_err()); // zero total
+        assert!(Signature::new(vec![vec![f64::NAN]], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_pairs_roundtrip() {
+        let s = Signature::from_pairs(vec![(vec![1.0], 0.5), (vec![2.0], 0.5)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[1], vec![2.0]);
+    }
+
+    #[test]
+    fn euclidean_distances() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ground_matrix_layout() {
+        let p = vec![vec![0.0], vec![1.0]];
+        let q = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let c = ground_distance_matrix(&p, &q);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c[0], 0.0); // p0-q0
+        assert_eq!(c[2], 4.0); // p0-q2
+        assert_eq!(c[3], 1.0); // p1-q0
+    }
+}

@@ -1,0 +1,179 @@
+use crate::GlitchType;
+
+/// The per-series glitch bit tensor `G_t` (§3.3): for each attribute
+/// `a ∈ 0..v`, glitch type `k ∈ 0..m`, and time `t ∈ 0..T`, whether the
+/// glitch is flagged.
+///
+/// Stored as one byte per `(attribute, time)` cell with one bit per glitch
+/// type — compact enough for the paper-scale data (20 000 × 170 × 3 cells)
+/// while keeping per-cell access O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlitchMatrix {
+    num_attributes: usize,
+    len: usize,
+    /// `bits[attr * len + t]` holds a bitmask over glitch-type indices.
+    bits: Vec<u8>,
+}
+
+impl GlitchMatrix {
+    /// An all-clear matrix for a `v × T` series.
+    pub fn new(num_attributes: usize, len: usize) -> Self {
+        GlitchMatrix {
+            num_attributes,
+            len,
+            bits: vec![0; num_attributes * len],
+        }
+    }
+
+    /// Number of attributes `v`.
+    pub fn num_attributes(&self) -> usize {
+        self.num_attributes
+    }
+
+    /// Number of time steps `T`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix covers zero time steps.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Flags glitch `g` on attribute `attr` at time `t`.
+    #[inline]
+    pub fn set(&mut self, attr: usize, g: GlitchType, t: usize) {
+        let i = self.cell(attr, t);
+        self.bits[i] |= 1 << g.index();
+    }
+
+    /// Clears glitch `g` on attribute `attr` at time `t`.
+    #[inline]
+    pub fn clear(&mut self, attr: usize, g: GlitchType, t: usize) {
+        let i = self.cell(attr, t);
+        self.bits[i] &= !(1 << g.index());
+    }
+
+    /// Whether glitch `g` is flagged on attribute `attr` at time `t`.
+    #[inline]
+    pub fn get(&self, attr: usize, g: GlitchType, t: usize) -> bool {
+        self.bits[self.cell(attr, t)] & (1 << g.index()) != 0
+    }
+
+    /// Whether any glitch is flagged on attribute `attr` at time `t`.
+    #[inline]
+    pub fn any(&self, attr: usize, t: usize) -> bool {
+        self.bits[self.cell(attr, t)] != 0
+    }
+
+    /// The glitch vector `g_ij(k)` of one cell, as booleans indexed by
+    /// [`GlitchType::index`].
+    pub fn cell_vector(&self, attr: usize, t: usize) -> [bool; GlitchType::COUNT] {
+        let b = self.bits[self.cell(attr, t)];
+        let mut out = [false; GlitchType::COUNT];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = b & (1 << k) != 0;
+        }
+        out
+    }
+
+    /// Whether glitch `g` is flagged on **any** attribute at time `t`
+    /// (the record-level view used for Table 1 percentages).
+    pub fn record_has(&self, g: GlitchType, t: usize) -> bool {
+        (0..self.num_attributes).any(|a| self.get(a, g, t))
+    }
+
+    /// Whether any glitch of any type is flagged at time `t`.
+    pub fn record_has_any(&self, t: usize) -> bool {
+        (0..self.num_attributes).any(|a| self.any(a, t))
+    }
+
+    /// Number of flagged cells for glitch type `g` over the whole series.
+    pub fn count_cells(&self, g: GlitchType) -> usize {
+        let mask = 1u8 << g.index();
+        self.bits.iter().filter(|&&b| b & mask != 0).count()
+    }
+
+    /// Number of time steps where glitch `g` is flagged on ≥ 1 attribute.
+    pub fn count_records(&self, g: GlitchType) -> usize {
+        (0..self.len).filter(|&t| self.record_has(g, t)).count()
+    }
+
+    /// Total flagged cells across all types (multi-glitch cells count once
+    /// per type).
+    pub fn total_flags(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    #[inline]
+    fn cell(&self, attr: usize, t: usize) -> usize {
+        assert!(
+            attr < self.num_attributes && t < self.len,
+            "glitch matrix index out of range: attr {attr}, t {t}"
+        );
+        attr * self.len + t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut g = GlitchMatrix::new(2, 3);
+        assert!(!g.get(0, GlitchType::Missing, 0));
+        g.set(0, GlitchType::Missing, 0);
+        assert!(g.get(0, GlitchType::Missing, 0));
+        assert!(!g.get(0, GlitchType::Outlier, 0));
+        g.clear(0, GlitchType::Missing, 0);
+        assert!(!g.get(0, GlitchType::Missing, 0));
+    }
+
+    #[test]
+    fn multiple_types_coexist_on_one_cell() {
+        let mut g = GlitchMatrix::new(1, 1);
+        g.set(0, GlitchType::Missing, 0);
+        g.set(0, GlitchType::Inconsistent, 0);
+        let v = g.cell_vector(0, 0);
+        assert_eq!(v, [true, true, false]);
+        assert!(g.any(0, 0));
+        assert_eq!(g.total_flags(), 2);
+    }
+
+    #[test]
+    fn record_level_queries() {
+        let mut g = GlitchMatrix::new(3, 2);
+        g.set(2, GlitchType::Outlier, 1);
+        assert!(!g.record_has(GlitchType::Outlier, 0));
+        assert!(g.record_has(GlitchType::Outlier, 1));
+        assert!(g.record_has_any(1));
+        assert!(!g.record_has_any(0));
+        assert_eq!(g.count_records(GlitchType::Outlier), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let mut g = GlitchMatrix::new(2, 4);
+        g.set(0, GlitchType::Missing, 0);
+        g.set(1, GlitchType::Missing, 0);
+        g.set(0, GlitchType::Missing, 2);
+        assert_eq!(g.count_cells(GlitchType::Missing), 3);
+        assert_eq!(g.count_records(GlitchType::Missing), 2);
+        assert_eq!(g.count_cells(GlitchType::Outlier), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let g = GlitchMatrix::new(1, 1);
+        g.get(1, GlitchType::Missing, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let g = GlitchMatrix::new(3, 0);
+        assert!(g.is_empty());
+        assert_eq!(g.count_cells(GlitchType::Missing), 0);
+    }
+}

@@ -1,0 +1,252 @@
+use crate::{GlitchMatrix, GlitchType};
+use sd_stats::{autocorrelation, pearson};
+
+/// Spatio-temporal glitch statistics (§6.1): the glitch sequence of a
+/// series treated as a multivariate counting process.
+///
+/// "Glitches tend to cluster both temporally as well as topologically
+/// (spatially) because they are often driven by physical phenomena related
+/// to collocated equipment." These statistics quantify that clustering:
+/// burstiness via the Fano factor of windowed counts, persistence via
+/// lag-1 autocorrelation of the indicator process, and cross-type linkage
+/// via the correlation of indicator series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingProcess {
+    /// Record-level indicator per time step (1.0 = glitch present).
+    indicator: Vec<f64>,
+}
+
+impl CountingProcess {
+    /// Builds the record-level counting process of one glitch type over a
+    /// series' annotations.
+    pub fn from_matrix(matrix: &GlitchMatrix, glitch: GlitchType) -> Self {
+        let indicator = (0..matrix.len())
+            .map(|t| if matrix.record_has(glitch, t) { 1.0 } else { 0.0 })
+            .collect();
+        CountingProcess { indicator }
+    }
+
+    /// Pools several series into one aggregate process (per-step counts).
+    pub fn aggregate(matrices: &[GlitchMatrix], glitch: GlitchType, horizon: usize) -> Self {
+        let counts = crate::counts_per_time(matrices, glitch, horizon);
+        CountingProcess {
+            indicator: counts.into_iter().map(|c| c as f64).collect(),
+        }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.indicator.len()
+    }
+
+    /// Whether the process covers zero steps.
+    pub fn is_empty(&self) -> bool {
+        self.indicator.is_empty()
+    }
+
+    /// The raw per-step values.
+    pub fn values(&self) -> &[f64] {
+        &self.indicator
+    }
+
+    /// Total number of events `N(T)`.
+    pub fn total(&self) -> f64 {
+        self.indicator.iter().sum()
+    }
+
+    /// Cumulative counting function `N(t)`.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.indicator
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
+    }
+
+    /// Lag-`k` autocorrelation of the process (None when degenerate).
+    /// Positive values at small lags are the temporal-clustering signature.
+    pub fn autocorrelation(&self, lag: usize) -> Option<f64> {
+        autocorrelation(&self.indicator, lag)
+    }
+
+    /// Fano factor of windowed counts: `Var(N_w) / E(N_w)` over
+    /// non-overlapping windows of `window` steps. A Poisson (memoryless)
+    /// process gives 1; bursty processes give > 1.
+    pub fn fano_factor(&self, window: usize) -> Option<f64> {
+        assert!(window > 0, "window must be positive");
+        let num_windows = self.indicator.len() / window;
+        if num_windows < 2 {
+            return None;
+        }
+        let counts: Vec<f64> = (0..num_windows)
+            .map(|w| self.indicator[w * window..(w + 1) * window].iter().sum())
+            .collect();
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return None;
+        }
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+        Some(var / mean)
+    }
+
+    /// Pearson correlation with another process of equal length —
+    /// the cross-type linkage statistic (e.g. missing vs inconsistent).
+    pub fn cross_correlation(&self, other: &CountingProcess) -> Option<f64> {
+        if self.len() != other.len() {
+            return None;
+        }
+        pearson(&self.indicator, &other.indicator)
+    }
+
+    /// Mean inter-arrival gap between events (None with < 2 events).
+    /// For a series-level indicator process this is the mean dry spell
+    /// between glitch records.
+    pub fn mean_interarrival(&self) -> Option<f64> {
+        let times: Vec<usize> = self
+            .indicator
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0.0)
+            .map(|(t, _)| t)
+            .collect();
+        if times.len() < 2 {
+            return None;
+        }
+        let gaps: f64 = times.windows(2).map(|w| (w[1] - w[0]) as f64).sum();
+        Some(gaps / (times.len() - 1) as f64)
+    }
+}
+
+/// Tower-level spatial clustering: the fraction of glitch mass explained
+/// by the dirtiest half of towers. Glitches spread uniformly over towers
+/// give ≈ 0.5; topologically clustered glitches give values near 1.
+///
+/// `tower_of[i]` maps series `i` to its tower index.
+pub fn spatial_concentration(
+    matrices: &[GlitchMatrix],
+    tower_of: &[usize],
+    glitch: GlitchType,
+) -> Option<f64> {
+    if matrices.len() != tower_of.len() || matrices.is_empty() {
+        return None;
+    }
+    let num_towers = tower_of.iter().max()? + 1;
+    let mut per_tower = vec![0.0f64; num_towers];
+    let mut total = 0.0;
+    for (m, &tower) in matrices.iter().zip(tower_of) {
+        let c = m.count_records(glitch) as f64;
+        per_tower[tower] += c;
+        total += c;
+    }
+    if total == 0.0 {
+        return None;
+    }
+    per_tower.sort_by(|a, b| b.total_cmp(a));
+    let top_half: f64 = per_tower.iter().take(num_towers.div_ceil(2)).sum();
+    Some(top_half / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bursty_matrix() -> GlitchMatrix {
+        // Two dense bursts separated by a long gap.
+        let mut m = GlitchMatrix::new(1, 60);
+        for t in 5..12 {
+            m.set(0, GlitchType::Missing, t);
+        }
+        for t in 40..48 {
+            m.set(0, GlitchType::Missing, t);
+        }
+        m
+    }
+
+    fn spread_matrix() -> GlitchMatrix {
+        // The same 15 events spread evenly.
+        let mut m = GlitchMatrix::new(1, 60);
+        for k in 0..15 {
+            m.set(0, GlitchType::Missing, k * 4);
+        }
+        m
+    }
+
+    #[test]
+    fn cumulative_counts_events() {
+        let p = CountingProcess::from_matrix(&bursty_matrix(), GlitchType::Missing);
+        assert_eq!(p.len(), 60);
+        assert_eq!(p.total(), 15.0);
+        let cum = p.cumulative();
+        assert_eq!(cum[59], 15.0);
+        assert!(cum.windows(2).all(|w| w[1] >= w[0]), "N(t) is monotone");
+    }
+
+    #[test]
+    fn bursty_process_has_higher_fano_factor() {
+        let bursty = CountingProcess::from_matrix(&bursty_matrix(), GlitchType::Missing);
+        let spread = CountingProcess::from_matrix(&spread_matrix(), GlitchType::Missing);
+        let f_bursty = bursty.fano_factor(10).unwrap();
+        let f_spread = spread.fano_factor(10).unwrap();
+        assert!(
+            f_bursty > f_spread,
+            "bursty {f_bursty} should exceed spread {f_spread}"
+        );
+        assert!(f_bursty > 1.0, "bursts are over-dispersed");
+    }
+
+    #[test]
+    fn bursty_process_is_autocorrelated() {
+        let bursty = CountingProcess::from_matrix(&bursty_matrix(), GlitchType::Missing);
+        assert!(bursty.autocorrelation(1).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn cross_correlation_detects_co_occurrence() {
+        let mut m = GlitchMatrix::new(1, 40);
+        for t in (0..40).step_by(3) {
+            m.set(0, GlitchType::Missing, t);
+            m.set(0, GlitchType::Inconsistent, t); // perfectly linked
+        }
+        let a = CountingProcess::from_matrix(&m, GlitchType::Missing);
+        let b = CountingProcess::from_matrix(&m, GlitchType::Inconsistent);
+        assert!((a.cross_correlation(&b).unwrap() - 1.0).abs() < 1e-12);
+        let empty = CountingProcess::from_matrix(&m, GlitchType::Outlier);
+        assert_eq!(a.cross_correlation(&empty), None, "degenerate correlate");
+    }
+
+    #[test]
+    fn interarrival_gap() {
+        let spread = CountingProcess::from_matrix(&spread_matrix(), GlitchType::Missing);
+        assert!((spread.mean_interarrival().unwrap() - 4.0).abs() < 1e-12);
+        let empty = CountingProcess::from_matrix(&GlitchMatrix::new(1, 10), GlitchType::Missing);
+        assert_eq!(empty.mean_interarrival(), None);
+    }
+
+    #[test]
+    fn aggregate_pools_series() {
+        let p = CountingProcess::aggregate(
+            &[bursty_matrix(), spread_matrix()],
+            GlitchType::Missing,
+            60,
+        );
+        assert_eq!(p.total(), 30.0);
+    }
+
+    #[test]
+    fn spatial_concentration_separates_clustered_from_uniform() {
+        // 4 towers; all glitches on towers 0 and 1.
+        let clustered = vec![bursty_matrix(), bursty_matrix(), GlitchMatrix::new(1, 60), GlitchMatrix::new(1, 60)];
+        let towers = vec![0, 1, 2, 3];
+        let c = spatial_concentration(&clustered, &towers, GlitchType::Missing).unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "all mass on the dirtiest half");
+
+        let uniform = vec![spread_matrix(), spread_matrix(), spread_matrix(), spread_matrix()];
+        let u = spatial_concentration(&uniform, &towers, GlitchType::Missing).unwrap();
+        assert!((u - 0.5).abs() < 1e-12);
+        assert!(spatial_concentration(&uniform, &towers, GlitchType::Outlier).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The glitch taxonomy of the paper's case study (§3.2): missing values,
+/// constraint inconsistencies, and distributional outliers.
+///
+/// The methodology "will work on any glitch that can be detected and
+/// flagged"; the enum is the closed set used by this reproduction, with
+/// [`GlitchType::ALL`] and index mapping so scores and matrices can stay
+/// dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GlitchType {
+    /// The value is not populated.
+    Missing,
+    /// The value violates a domain constraint (possibly cross-attribute).
+    Inconsistent,
+    /// The value falls outside the calibrated outlyingness threshold.
+    Outlier,
+}
+
+impl GlitchType {
+    /// All glitch types, in index order (`m = 3`).
+    pub const ALL: [GlitchType; 3] = [
+        GlitchType::Missing,
+        GlitchType::Inconsistent,
+        GlitchType::Outlier,
+    ];
+
+    /// Number of glitch types `m`.
+    pub const COUNT: usize = 3;
+
+    /// Dense index of this type (0-based, stable).
+    pub fn index(self) -> usize {
+        match self {
+            GlitchType::Missing => 0,
+            GlitchType::Inconsistent => 1,
+            GlitchType::Outlier => 2,
+        }
+    }
+
+    /// Inverse of [`GlitchType::index`].
+    pub fn from_index(i: usize) -> Option<GlitchType> {
+        GlitchType::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for GlitchType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GlitchType::Missing => "missing",
+            GlitchType::Inconsistent => "inconsistent",
+            GlitchType::Outlier => "outlier",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, t) in GlitchType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(GlitchType::from_index(i), Some(*t));
+        }
+        assert_eq!(GlitchType::from_index(3), None);
+        assert_eq!(GlitchType::COUNT, GlitchType::ALL.len());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GlitchType::Missing.to_string(), "missing");
+        assert_eq!(GlitchType::Inconsistent.to_string(), "inconsistent");
+        assert_eq!(GlitchType::Outlier.to_string(), "outlier");
+    }
+}

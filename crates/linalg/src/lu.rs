@@ -1,0 +1,209 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// Fallback solver for square systems that are not symmetric positive
+/// definite (the Cholesky path covers the common covariance case).
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined storage: `L` below the diagonal (unit diagonal implied),
+    /// `U` on and above it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now in row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Pivot magnitudes below this threshold are treated as zero.
+    const SINGULAR_TOL: f64 = 1e-300;
+
+    /// Factorizes a square matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if a.rows() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = lu[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < Self::SINGULAR_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let sub = factor * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                got: format!("length {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-diagonal L.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Explicit inverse; prefer [`LuFactor::solve`] for single systems.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_general_system() {
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0], // zero pivot forces a row swap
+            &[1.0, -1.0, 3.0],
+            &[2.0, 4.0, -2.0],
+        ])
+        .unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let b = vec![3.0, 2.0, 1.0];
+        let x = lu.solve(&b).unwrap();
+        let back = a.mat_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10, "got {back:?}");
+        }
+    }
+
+    #[test]
+    fn determinant_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.determinant() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_row_swaps() {
+        // Permutation matrix with det = -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(LuFactor::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            LuFactor::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::INFINITY;
+        assert!(matches!(LuFactor::new(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])
+            .unwrap();
+        let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = LuFactor::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

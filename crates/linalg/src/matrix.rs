@@ -1,0 +1,409 @@
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is deliberately minimal: the statistical-distortion framework only
+/// needs small matrices (covariances over a handful of attributes), so the
+/// type optimizes for clarity and bounds-checked safety rather than raw
+/// throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Fails if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} elements", rows * cols),
+                got: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices. All rows must have the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: format!("row of length {cols}"),
+                    got: format!("row {i} of length {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A view of row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns `true` if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn mat_mul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} rows", self.cols),
+                got: format!("{} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`. Panics if `v.len() != cols`.
+    pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mat_vec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Extracts the square submatrix with the given row/column indices
+    /// (used to marginalize a covariance matrix onto a subset of attributes).
+    pub fn select(&self, idx: &[usize]) -> Result<Matrix> {
+        self.select_rect(idx, idx)
+    }
+
+    /// Extracts the submatrix with rows from `row_idx` and columns from
+    /// `col_idx`, in the given order.
+    pub fn select_rect(&self, row_idx: &[usize], col_idx: &[usize]) -> Result<Matrix> {
+        for &i in row_idx {
+            if i >= self.rows {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: format!("row index < {}", self.rows),
+                    got: format!("{i}"),
+                });
+            }
+        }
+        for &j in col_idx {
+            if j >= self.cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: format!("col index < {}", self.cols),
+                    got: format!("{j}"),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(row_idx.len(), col_idx.len());
+        for (oi, &i) in row_idx.iter().enumerate() {
+            for (oj, &j) in col_idx.iter().enumerate() {
+                out[(oi, oj)] = self[(i, j)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute difference to another matrix of identical shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(self.shape_mismatch(other));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Whether the matrix is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(self.shape_mismatch(other));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    fn shape_mismatch(&self, other: &Matrix) -> LinalgError {
+        LinalgError::DimensionMismatch {
+            expected: format!("{}x{}", self.rows, self.cols),
+            got: format!("{}x{}", other.rows, other.cols),
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 2)], 0.0);
+        assert!(i.is_square());
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_checks_raggedness() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert!(matches!(err, Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mat_mul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.mat_mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn mat_mul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.mat_mul(&b).is_err());
+    }
+
+    #[test]
+    fn mat_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.mat_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn select_marginalizes() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let s = m.select(&[0, 2]).unwrap();
+        assert_eq!(s, Matrix::from_rows(&[&[1.0, 3.0], &[7.0, 9.0]]).unwrap());
+
+        let r = m.select_rect(&[1], &[0, 2]).unwrap();
+        assert_eq!(r, Matrix::from_rows(&[&[4.0, 6.0]]).unwrap());
+    }
+
+    #[test]
+    fn select_rejects_out_of_range() {
+        let m = Matrix::identity(2);
+        assert!(m.select(&[2]).is_err());
+        assert!(m.select_rect(&[0], &[5]).is_err());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = Matrix::from_diagonal(&[1.0, 2.0]);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_distance() {
+        let a = Matrix::identity(2);
+        let b = a.scale(1.5);
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-15);
+        assert!(a.max_abs_diff(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+}

@@ -1,0 +1,319 @@
+use crate::{GlitchRates, KpiParams};
+use rand::Rng;
+use sd_glitch::{GlitchMatrix, GlitchType};
+
+/// A two-state Markov burst process with a target stationary on-fraction
+/// and mean burst length.
+///
+/// Glitches in network telemetry are bursty — equipment stays down for a
+/// stretch, not for isolated ticks (§6.1). With on→off probability
+/// `1 / mean_len` and off→on probability chosen so the stationary
+/// on-fraction equals `fraction`, the process injects the right *amount*
+/// of glitch while preserving temporal clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstProcess {
+    /// P(off → on).
+    p_start: f64,
+    /// P(on → off) = 1 / mean burst length.
+    p_stop: f64,
+    on: bool,
+}
+
+impl BurstProcess {
+    /// Creates a process with the given stationary `fraction ∈ [0, 1)` and
+    /// mean burst length (≥ 1).
+    pub fn new(fraction: f64, mean_len: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+        assert!(mean_len >= 1.0, "mean burst length must be >= 1");
+        let p_stop = 1.0 / mean_len;
+        // Stationary on-fraction = p_start / (p_start + p_stop).
+        let p_start = if fraction == 0.0 {
+            0.0
+        } else {
+            (fraction * p_stop / (1.0 - fraction)).min(1.0)
+        };
+        BurstProcess {
+            p_start,
+            p_stop,
+            on: false,
+        }
+    }
+
+    /// Scales the stationary on-fraction (tower health modulation). The
+    /// scaled fraction is clamped to 0.95, and the mean burst length is
+    /// preserved, so a sector with intensity `h` spends `h ×` as much time
+    /// glitching without changing the burst texture.
+    pub fn with_intensity(self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "intensity must be non-negative");
+        let fraction = (self.stationary_fraction() * factor).min(0.95);
+        let mut scaled = BurstProcess::new(fraction, 1.0 / self.p_stop);
+        scaled.on = self.on;
+        scaled
+    }
+
+    /// Advances one step and returns whether the process is "on".
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let u: f64 = rng.gen();
+        self.on = if self.on {
+            u >= self.p_stop
+        } else {
+            u < self.p_start
+        };
+        self.on
+    }
+
+    /// The stationary on-fraction implied by the current parameters.
+    pub fn stationary_fraction(&self) -> f64 {
+        if self.p_start == 0.0 {
+            0.0
+        } else {
+            self.p_start / (self.p_start + self.p_stop)
+        }
+    }
+}
+
+/// Applies glitch corruption to one sector's clean KPI rows, recording the
+/// ground truth of every injection.
+///
+/// Injection order per record:
+/// 1. full-record missing bursts (equipment down);
+/// 2. attribute-3 missing bursts (ratio counter down — drives the
+///    missing/inconsistent co-occurrence via the cross-attribute rule);
+/// 3. value corruptions (negative load, ratio > 1);
+/// 4. anomalies (load spikes, load dropouts) — ground-truth outliers.
+#[derive(Debug)]
+pub struct GlitchInjector {
+    full_missing: BurstProcess,
+    attr1_missing: BurstProcess,
+    attr3_missing: BurstProcess,
+    spike: BurstProcess,
+    dropout: BurstProcess,
+    rates: GlitchRates,
+    kpi: KpiParams,
+}
+
+impl GlitchInjector {
+    /// Creates an injector for one sector. `dirty` selects full-strength
+    /// rates; clean sectors run at `rates.clean_scale` strength.
+    /// `tower_intensity` modulates burst starts so collocated sectors fail
+    /// together.
+    pub fn new(rates: GlitchRates, kpi: KpiParams, dirty: bool, tower_intensity: f64) -> Self {
+        let scale = if dirty { 1.0 } else { rates.clean_scale };
+        GlitchInjector {
+            full_missing: BurstProcess::new(rates.full_missing * scale, 2.0)
+                .with_intensity(tower_intensity),
+            attr1_missing: BurstProcess::new(rates.attr1_missing * scale, 3.0)
+                .with_intensity(tower_intensity),
+            attr3_missing: BurstProcess::new(rates.attr3_missing * scale, 5.0)
+                .with_intensity(tower_intensity),
+            spike: BurstProcess::new(rates.spike * scale, 2.0).with_intensity(tower_intensity),
+            dropout: BurstProcess::new(rates.dropout * scale, 3.0)
+                .with_intensity(tower_intensity),
+            rates,
+            kpi,
+        }
+    }
+
+    /// Corrupts record `t` in place and stamps ground truth into `truth`.
+    /// `scale` multiplies the per-record corruption probabilities (clean
+    /// sectors pass `rates.clean_scale`).
+    pub fn corrupt_record<R: Rng + ?Sized>(
+        &mut self,
+        values: &mut [f64; 3],
+        truth: &mut GlitchMatrix,
+        t: usize,
+        scale: f64,
+        rng: &mut R,
+    ) {
+        // 1. Full-record missing burst.
+        if self.full_missing.step(rng) {
+            for (a, v) in values.iter_mut().enumerate() {
+                *v = f64::NAN;
+                truth.set(a, GlitchType::Missing, t);
+            }
+            return; // nothing else can corrupt an unpopulated record
+        }
+
+        // 2a. Load-counter gap: attribute 1 alone missing (these records
+        //     are imputable from the surviving attributes — Figure 4's
+        //     gray points).
+        if self.attr1_missing.step(rng) {
+            values[0] = f64::NAN;
+            truth.set(0, GlitchType::Missing, t);
+        }
+
+        // 2b. Ratio-counter-down burst: attribute 3 missing; when
+        //     attribute 1 is still populated the cross rule also makes the
+        //     record inconsistent.
+        if self.attr3_missing.step(rng) {
+            values[2] = f64::NAN;
+            truth.set(2, GlitchType::Missing, t);
+            if !values[0].is_nan() {
+                truth.set(0, GlitchType::Inconsistent, t);
+            }
+        }
+
+        // 3. Value corruptions.
+        if !values[0].is_nan() && rng.gen::<f64>() < self.rates.negative_attr1 * scale {
+            values[0] = -values[0].abs();
+            truth.set(0, GlitchType::Inconsistent, t);
+        }
+        if !values[2].is_nan() && rng.gen::<f64>() < self.rates.ratio_above_one * scale {
+            values[2] = 1.0 + rng.gen::<f64>() * 0.3;
+            truth.set(2, GlitchType::Inconsistent, t);
+        }
+
+        // 4. Anomalies on the load attribute (skip if corrupted negative —
+        //    a spike on a negative value is still inconsistent, not a
+        //    meaningful anomaly).
+        if values[0] > 0.0 {
+            if self.spike.step(rng) {
+                let (lo, hi) = self.kpi.spike_factor;
+                values[0] *= log_uniform(lo, hi, rng);
+                truth.set(0, GlitchType::Outlier, t);
+            } else if self.dropout.step(rng) {
+                let (lo, hi) = self.kpi.dropout_factor;
+                values[0] *= log_uniform(lo, hi, rng);
+                truth.set(0, GlitchType::Outlier, t);
+            }
+        }
+    }
+}
+
+/// Draws log-uniformly from `[lo, hi]`.
+fn log_uniform<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo);
+    let u: f64 = rng.gen();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn burst_process_hits_stationary_fraction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = BurstProcess::new(0.15, 5.0);
+        let n = 200_000;
+        let on = (0..n).filter(|_| p.step(&mut rng)).count();
+        let frac = on as f64 / n as f64;
+        assert!((frac - 0.15).abs() < 0.01, "got {frac}");
+        assert!((p.stationary_fraction() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_process_is_bursty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = BurstProcess::new(0.2, 6.0);
+        let states: Vec<f64> = (0..50_000)
+            .map(|_| if p.step(&mut rng) { 1.0 } else { 0.0 })
+            .collect();
+        let ac = sd_stats::autocorrelation(&states, 1).unwrap();
+        assert!(ac > 0.4, "bursts should be autocorrelated, got {ac}");
+    }
+
+    #[test]
+    fn zero_fraction_never_fires() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = BurstProcess::new(0.0, 4.0);
+        assert!((0..10_000).all(|_| !p.step(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        BurstProcess::new(1.0, 4.0);
+    }
+
+    #[test]
+    fn injector_rates_are_roughly_on_target() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let rates = GlitchRates::default();
+        let kpi = KpiParams::default();
+        let mut inj = GlitchInjector::new(rates, kpi, true, 1.0);
+        let t_len = 100_000;
+        let mut truth = GlitchMatrix::new(3, t_len);
+        for t in 0..t_len {
+            let mut values = [100.0, 20.0, 0.93];
+            inj.corrupt_record(&mut values, &mut truth, t, 1.0, &mut rng);
+        }
+        let missing = truth.count_records(GlitchType::Missing) as f64 / t_len as f64;
+        let inconsistent =
+            truth.count_records(GlitchType::Inconsistent) as f64 / t_len as f64;
+        let outlier = truth.count_records(GlitchType::Outlier) as f64 / t_len as f64;
+        // Expectations derived from the configured rates (record level,
+        // correcting for first-order overlaps).
+        let miss_expect = rates.full_missing + rates.attr1_missing + rates.attr3_missing
+            - rates.attr1_missing * rates.attr3_missing;
+        let incons_expect = rates.attr3_missing * (1.0 - rates.attr1_missing)
+            + rates.negative_attr1
+            + rates.ratio_above_one;
+        let outlier_expect =
+            (rates.spike + rates.dropout) * (1.0 - miss_expect - rates.negative_attr1);
+        assert!((missing - miss_expect).abs() < 0.02, "missing {missing} vs {miss_expect}");
+        assert!(
+            (inconsistent - incons_expect).abs() < 0.02,
+            "inconsistent {inconsistent} vs {incons_expect}"
+        );
+        assert!(
+            (outlier - outlier_expect).abs() < 0.03,
+            "outlier {outlier} vs {outlier_expect}"
+        );
+    }
+
+    #[test]
+    fn clean_sectors_stay_under_ideal_threshold() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let rates = GlitchRates::default();
+        let mut inj = GlitchInjector::new(rates, KpiParams::default(), false, 1.0);
+        let t_len = 50_000;
+        let mut truth = GlitchMatrix::new(3, t_len);
+        for t in 0..t_len {
+            let mut values = [100.0, 20.0, 0.93];
+            inj.corrupt_record(&mut values, &mut truth, t, rates.clean_scale, &mut rng);
+        }
+        for &g in &GlitchType::ALL {
+            let frac = truth.count_records(g) as f64 / t_len as f64;
+            assert!(frac < 0.05, "{g} fraction {frac} breaches ideal threshold");
+        }
+    }
+
+    #[test]
+    fn full_missing_blanks_whole_record() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let rates = GlitchRates {
+            full_missing: 0.8,
+            attr1_missing: 0.0,
+            attr3_missing: 0.0,
+            negative_attr1: 0.0,
+            ratio_above_one: 0.0,
+            spike: 0.0,
+            dropout: 0.0,
+            clean_scale: 0.1,
+        };
+        let mut inj = GlitchInjector::new(rates, KpiParams::default(), true, 1.0);
+        let mut truth = GlitchMatrix::new(3, 200);
+        let mut saw_blackout = false;
+        for t in 0..200 {
+            let mut values = [100.0, 20.0, 0.93];
+            inj.corrupt_record(&mut values, &mut truth, t, 1.0, &mut rng);
+            if values[0].is_nan() {
+                assert!(values[1].is_nan() && values[2].is_nan());
+                saw_blackout = true;
+            }
+        }
+        assert!(saw_blackout);
+    }
+
+    #[test]
+    fn log_uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..1000 {
+            let x = log_uniform(60.0, 400.0, &mut rng);
+            assert!((60.0..=400.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+use crate::KpiParams;
+use rand::Rng;
+use rand_distr::{Beta, Distribution, Gamma, Normal};
+
+/// Per-sector KPI generator: produces the *clean* latent measurements that
+/// glitch injection later corrupts.
+///
+/// Attribute layout (fixed across the workspace):
+/// * `0` — "load": `exp(μ_s + diurnal + AR(1) − Gamma)`. The subtracted
+///   Gamma deviate puts a long lower tail on the log scale (left skew) and
+///   a long upper tail on the raw scale (right skew), matching the paper's
+///   Figure 4 histograms.
+/// * `1` — "volume": lognormal around a per-sector level.
+/// * `2` — "ratio": Beta success ratio with mass near 1, inside `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct KpiModel {
+    params: KpiParams,
+    /// Per-sector log-load level `μ_s`.
+    mu_load: f64,
+    /// Per-sector log-volume level.
+    mu_volume: f64,
+    /// AR(1) state of the latent load process.
+    ar_state: f64,
+    /// Sticky left-skew deviate: kept with probability `SKEW_STICKINESS`
+    /// each step, else resampled. The stationary marginal is exactly the
+    /// Gamma, while lag-1 autocorrelation equals the stickiness — giving
+    /// the load series temporal correlation without distorting its shape.
+    skew_state: f64,
+    gamma: Gamma<f64>,
+    beta: Beta<f64>,
+}
+
+/// Probability of holding the previous skew deviate for another step.
+const SKEW_STICKINESS: f64 = 0.55;
+
+/// Number of attributes the model emits.
+pub const NUM_ATTRIBUTES: usize = 3;
+
+/// Attribute index of the load KPI ("Attribute 1" in the paper).
+pub const ATTR_LOAD: usize = 0;
+/// Attribute index of the volume KPI ("Attribute 2").
+pub const ATTR_VOLUME: usize = 1;
+/// Attribute index of the success ratio ("Attribute 3").
+pub const ATTR_RATIO: usize = 2;
+
+impl KpiModel {
+    /// Draws per-sector levels and initializes the AR state.
+    pub fn new<R: Rng + ?Sized>(params: KpiParams, rng: &mut R) -> Self {
+        let sector_level = Normal::new(params.log_load_mean, params.log_load_sector_sd)
+            .expect("valid sector level distribution");
+        let mu_load = sector_level.sample(rng);
+        let mu_volume = Normal::new(params.log_volume_mean, params.log_volume_sd)
+            .expect("valid volume distribution")
+            .sample(rng);
+        let gamma = Gamma::new(params.log_load_gamma_shape, params.log_load_gamma_scale)
+            .expect("valid gamma");
+        let beta = Beta::new(params.ratio_alpha, params.ratio_beta).expect("valid beta");
+        let skew_state = gamma.sample(rng);
+        KpiModel {
+            params,
+            mu_load,
+            mu_volume,
+            ar_state: 0.0,
+            skew_state,
+            gamma,
+            beta,
+        }
+    }
+
+    /// The per-sector log-load level.
+    pub fn mu_load(&self) -> f64 {
+        self.mu_load
+    }
+
+    /// Generates the clean 3-tuple for time step `t`, advancing the AR
+    /// state.
+    pub fn step<R: Rng + ?Sized>(&mut self, t: usize, rng: &mut R) -> [f64; NUM_ATTRIBUTES] {
+        let p = &self.params;
+        // Latent AR(1) innovation in log space.
+        let innovation: f64 = Normal::new(0.0, 0.15).expect("valid noise").sample(rng);
+        self.ar_state = p.ar_coefficient * self.ar_state + innovation;
+        let diurnal = p.diurnal_amplitude * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+        // Sticky left-skew deviate in log space.
+        if rng.gen::<f64>() >= SKEW_STICKINESS {
+            self.skew_state = self.gamma.sample(rng);
+        }
+        let log_load = self.mu_load + diurnal + self.ar_state - self.skew_state;
+        let load = log_load.exp();
+
+        let volume_noise: f64 = Normal::new(0.0, 0.2).expect("valid noise").sample(rng);
+        let log_volume = self.mu_volume + 0.5 * self.ar_state + volume_noise;
+        let volume = log_volume.exp();
+
+        let ratio: f64 = self.beta.sample(rng);
+        [load, volume, ratio]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sd_stats::Summary;
+
+    fn sample_attribute(attr: usize, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = KpiModel::new(KpiParams::default(), &mut rng);
+        (0..n).map(|t| model.step(t, &mut rng)[attr]).collect()
+    }
+
+    #[test]
+    fn load_is_positive_and_right_skewed_raw() {
+        let loads = sample_attribute(ATTR_LOAD, 5000);
+        assert!(loads.iter().all(|&x| x > 0.0));
+        let s = Summary::from_slice(&loads);
+        assert!(s.skewness > 0.5, "raw load should be right-skewed, got {}", s.skewness);
+    }
+
+    #[test]
+    fn load_is_left_skewed_in_log_space() {
+        let logs: Vec<f64> = sample_attribute(ATTR_LOAD, 5000)
+            .into_iter()
+            .map(f64::ln)
+            .collect();
+        let s = Summary::from_slice(&logs);
+        assert!(s.skewness < -0.2, "log load should be left-skewed, got {}", s.skewness);
+    }
+
+    #[test]
+    fn ratio_stays_in_unit_interval_with_mass_near_one() {
+        let ratios = sample_attribute(ATTR_RATIO, 5000);
+        assert!(ratios.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        let s = Summary::from_slice(&ratios);
+        assert!(s.mean > 0.85, "ratio mass should sit near 1, got mean {}", s.mean);
+    }
+
+    #[test]
+    fn volume_is_positive() {
+        let volumes = sample_attribute(ATTR_VOLUME, 1000);
+        assert!(volumes.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn sectors_differ_but_are_deterministic_per_seed() {
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let mut rng_c = StdRng::seed_from_u64(2);
+        let a = KpiModel::new(KpiParams::default(), &mut rng_a);
+        let b = KpiModel::new(KpiParams::default(), &mut rng_b);
+        let c = KpiModel::new(KpiParams::default(), &mut rng_c);
+        assert_eq!(a.mu_load(), b.mu_load());
+        assert_ne!(a.mu_load(), c.mu_load());
+    }
+
+    #[test]
+    fn temporal_autocorrelation_is_positive() {
+        let loads: Vec<f64> = sample_attribute(ATTR_LOAD, 3000)
+            .into_iter()
+            .map(f64::ln)
+            .collect();
+        let ac = sd_stats::autocorrelation(&loads, 1).unwrap();
+        assert!(ac > 0.1, "AR(1) should induce autocorrelation, got {ac}");
+    }
+}

@@ -1,0 +1,103 @@
+use rand::Rng;
+
+/// Classic reservoir sampling (Vitter's Algorithm R): a uniform sample of
+/// `k` items from a stream of unknown length, one pass, O(k) memory.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    k: usize,
+    seen: usize,
+    reservoir: Vec<T>,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a reservoir of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        ReservoirSampler {
+            k,
+            seen: 0,
+            reservoir: Vec::with_capacity(k),
+        }
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The current sample (uniform over everything seen).
+    pub fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    /// Offers the next stream item.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.reservoir.len() < self.k {
+            self.reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if j < self.k {
+                self.reservoir[j] = item;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_before_evicting() {
+        let mut r = ReservoirSampler::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..3 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample(), &[0, 1, 2]);
+        assert_eq!(r.seen(), 3);
+    }
+
+    #[test]
+    fn sample_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20usize;
+        let k = 4usize;
+        let runs = 40_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..runs {
+            let mut r = ReservoirSampler::new(k);
+            for i in 0..n {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.sample() {
+                counts[i] += 1;
+            }
+        }
+        let expected = runs as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.08, "item {i}: count {c}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn keeps_k_items_regardless_of_stream_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = ReservoirSampler::new(5);
+        for i in 0..10_000 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 5);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        ReservoirSampler::<i32>::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_data::Dataset;
+use std::collections::BTreeMap;
+
+/// Topology-preserving sampler: draws **towers** with replacement and takes
+/// every sector on each drawn tower.
+///
+/// This is the §6.1 future-work direction implemented: "glitches tend to
+/// cluster both temporally as well as topologically (spatially) because
+/// they are often driven by physical phenomena related to collocated
+/// equipment like antennae on a cell tower. Our future work focuses on
+/// developing sampling schemes for preserving network topology." Sampling
+/// whole towers keeps collocated sectors together so spatial glitch
+/// correlation survives into the replication samples.
+#[derive(Debug, Clone, Copy)]
+pub struct TowerStratifiedSampler {
+    /// Number of towers drawn per sample.
+    pub towers: usize,
+    /// Base seed (per-replication derivation as in `ReplicationSampler`).
+    pub seed: u64,
+}
+
+impl TowerStratifiedSampler {
+    /// Creates a sampler drawing `towers` towers per sample.
+    pub fn new(towers: usize, seed: u64) -> Self {
+        assert!(towers > 0, "tower count must be positive");
+        TowerStratifiedSampler { towers, seed }
+    }
+
+    /// Draws a topology-preserving sample for `replication`.
+    ///
+    /// Series are grouped by `(rnc, tower)`; each drawn tower contributes
+    /// all of its series (in stable node order).
+    pub fn sample(&self, pool: &Dataset, replication: usize) -> Dataset {
+        assert!(!pool.is_empty(), "pool is empty");
+        // Group series indices by tower.
+        let mut towers: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        for (i, s) in pool.series().iter().enumerate() {
+            let node = s.node();
+            towers.entry((node.rnc, node.tower)).or_default().push(i);
+        }
+        let keys: Vec<(u32, u32)> = towers.keys().copied().collect();
+        let mut z = self
+            .seed
+            .wrapping_add((replication as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        let mut rng = StdRng::seed_from_u64(z ^ (z >> 27));
+
+        let mut indices = Vec::new();
+        for _ in 0..self.towers {
+            let key = keys[rng.gen_range(0..keys.len())];
+            indices.extend_from_slice(&towers[&key]);
+        }
+        pool.subset(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_data::{TimeSeries, Topology};
+
+    fn pool() -> Dataset {
+        let topo = Topology::new(2, 3, 4); // 6 towers, 24 sectors
+        let series = topo
+            .sectors()
+            .map(|node| {
+                let mut s = TimeSeries::new(node, 1, 2);
+                s.set(0, 0, 1.0);
+                s.set(0, 1, 2.0);
+                s
+            })
+            .collect();
+        Dataset::new(vec!["a"], series).unwrap()
+    }
+
+    #[test]
+    fn sample_contains_whole_towers() {
+        let sampler = TowerStratifiedSampler::new(3, 7);
+        let sample = sampler.sample(&pool(), 0);
+        assert_eq!(sample.num_series(), 12, "3 towers × 4 sectors");
+        // Every drawn tower must appear with all four sectors.
+        let mut by_tower: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for s in sample.series() {
+            *by_tower
+                .entry((s.node().rnc, s.node().tower))
+                .or_default() += 1;
+        }
+        for (&tower, &count) in &by_tower {
+            assert_eq!(count % 4, 0, "tower {tower:?} split across the sample");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_replication() {
+        let sampler = TowerStratifiedSampler::new(2, 9);
+        let p = pool();
+        let a = sampler.sample(&p, 5);
+        let b = sampler.sample(&p, 5);
+        assert!(a.same_data(&b));
+    }
+
+    #[test]
+    fn different_replications_differ() {
+        let sampler = TowerStratifiedSampler::new(2, 9);
+        let p = pool();
+        // Across several replications at least one sample should differ.
+        let base = sampler.sample(&p, 0);
+        let differs = (1..10).any(|r| !sampler.sample(&p, r).same_data(&base));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_towers_panics() {
+        TowerStratifiedSampler::new(0, 1);
+    }
+}

@@ -1,0 +1,146 @@
+use rand::Rng;
+
+/// Weighted with-replacement sampling via Walker's alias method: O(n)
+/// construction, O(1) per draw.
+///
+/// The framework lets users gear sampling "to a user's specific needs by
+/// differential weighting of subsets of data" (§2.1.1); this is the
+/// mechanism.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    /// Scaled probability in `[0, 1]` of choosing the "home" index.
+    prob: Vec<f64>,
+    /// Fallback index when the home draw fails.
+    alias: Vec<usize>,
+}
+
+impl WeightedSampler {
+    /// Builds the alias table. Weights must be non-negative and finite with
+    /// a positive sum.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must have positive sum");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical stragglers round to 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        WeightedSampler { prob, alias }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the sampler has no items (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Draws `count` indices with replacement.
+    pub fn sample_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 7.0];
+        let sampler = WeightedSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / 10.0;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "index {i}: {observed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_are_never_drawn() {
+        let sampler = WeightedSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let sampler = WeightedSampler::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.len(), 1);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn sample_many_length() {
+        let sampler = WeightedSampler::new(&[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample_many(17, &mut rng).len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_panic() {
+        WeightedSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_panic() {
+        WeightedSampler::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        WeightedSampler::new(&[1.0, -2.0]);
+    }
+}

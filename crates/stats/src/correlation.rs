@@ -1,0 +1,107 @@
+/// Pearson correlation between two equal-length samples, computed over the
+/// pairs where **both** values are present (non-NaN).
+///
+/// Returns `None` when fewer than two complete pairs exist or either
+/// marginal is constant. Used by the glitch co-occurrence analyses: the
+/// paper observes "considerable overlap between missing and inconsistent
+/// values" (Fig. 3), which this quantifies on indicator series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let mut n = 0usize;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        n += 1;
+        sx += x;
+        sy += y;
+    }
+    if n < 2 {
+        return None;
+    }
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Sample autocorrelation of `xs` at the given lag, over complete pairs.
+///
+/// Glitches cluster temporally (§6.1); the autocorrelation of a glitch
+/// indicator series measures that burstiness.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Option<f64> {
+    if lag >= xs.len() {
+        return None;
+    }
+    pearson(&xs[..xs.len() - lag], &xs[lag..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_pattern() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let ys = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_pairs_are_dropped() {
+        let xs = [1.0, 2.0, f64::NAN, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // constant x
+        assert_eq!(pearson(&[f64::NAN, f64::NAN], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        assert!((autocorrelation(&xs, 2).unwrap() - 1.0).abs() < 1e-12);
+        assert!((autocorrelation(&xs, 1).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_lag_bounds() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(autocorrelation(&xs, 3), None);
+        assert!(autocorrelation(&xs, 0).unwrap() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

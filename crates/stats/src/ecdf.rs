@@ -1,0 +1,111 @@
+use crate::quantile_of_sorted;
+
+/// Empirical cumulative distribution function of a sample.
+///
+/// Stores the sorted present values; evaluation is a binary search.
+/// The 1-D Earth Mover's Distance is the L1 distance between two ECDFs,
+/// which is why this type sits in the statistics substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample, skipping NaN values.
+    pub fn new(xs: &[f64]) -> Self {
+        Ecdf {
+            sorted: crate::sorted_present(xs),
+        }
+    }
+
+    /// Number of present observations.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample was empty (or all-missing).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F(x)` — the fraction of observations `<= x`. 0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point returns the count of values <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse ECDF (quantile function) by linear interpolation.
+    pub fn inverse(&self, q: f64) -> Option<f64> {
+        quantile_of_sorted(&self.sorted, q)
+    }
+
+    /// Kolmogorov–Smirnov statistic `sup |F(x) − G(x)|` against another ECDF.
+    pub fn ks_statistic(&self, other: &Ecdf) -> f64 {
+        let mut sup: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            sup = sup.max((self.eval(x) - other.eval(x)).abs());
+        }
+        sup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_at_sample_points() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.75);
+    }
+
+    #[test]
+    fn nan_skipped_and_empty() {
+        let e = Ecdf::new(&[f64::NAN, 2.0]);
+        assert_eq!(e.n(), 1);
+        let empty = Ecdf::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.eval(0.0), 0.0);
+        assert_eq!(empty.inverse(0.5), None);
+    }
+
+    #[test]
+    fn inverse_interpolates() {
+        let e = Ecdf::new(&[0.0, 10.0]);
+        assert_eq!(e.inverse(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn ks_statistic_of_identical_samples_is_zero() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]);
+        let b = Ecdf::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_statistic(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_of_disjoint_samples_is_one() {
+        let a = Ecdf::new(&[0.0, 1.0]);
+        let b = Ecdf::new(&[10.0, 11.0]);
+        assert_eq!(a.ks_statistic(&b), 1.0);
+        assert_eq!(b.ks_statistic(&a), 1.0);
+    }
+}

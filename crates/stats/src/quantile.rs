@@ -1,0 +1,69 @@
+/// Quantile of an **ascending-sorted** slice by linear interpolation
+/// (type-7 estimator, the R/NumPy default).
+///
+/// `q` is clamped to `[0, 1]`. Returns `None` for an empty slice.
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let h = q * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = h - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Quantile of an unsorted slice, skipping NaNs. `None` when no present
+/// values remain.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    let sorted = crate::sorted_present(xs);
+    quantile_of_sorted(&sorted, q)
+}
+
+/// Median of an unsorted slice, skipping NaNs.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_small_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&xs, 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn q_is_clamped() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -1.0), Some(1.0));
+        assert_eq!(quantile(&xs, 2.0), Some(2.0));
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+}

@@ -1,0 +1,190 @@
+/// Moment summary of a sample, computed over present (non-NaN) values.
+///
+/// A `Summary` over an empty (or all-missing) slice has `n == 0` and NaN
+/// statistics; callers should check [`Summary::is_empty`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of present values.
+    pub n: usize,
+    /// Number of missing (NaN) values that were skipped.
+    pub missing: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample variance (denominator `n - 1`; 0 when `n < 2`).
+    pub variance: f64,
+    /// Minimum present value.
+    pub min: f64,
+    /// Maximum present value.
+    pub max: f64,
+    /// Sample skewness (adjusted Fisher–Pearson; NaN when `n < 3`).
+    pub skewness: f64,
+    /// Excess kurtosis (NaN when `n < 4`).
+    pub kurtosis: f64,
+}
+
+impl Summary {
+    /// Computes a summary over the present values of `xs`.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut n = 0usize;
+        let mut missing = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut m4 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+
+        // One-pass streaming moments (Welford / Pébay update).
+        for &x in xs {
+            if x.is_nan() {
+                missing += 1;
+                continue;
+            }
+            n += 1;
+            let nf = n as f64;
+            let delta = x - mean;
+            let delta_n = delta / nf;
+            let delta_n2 = delta_n * delta_n;
+            let term1 = delta * delta_n * (nf - 1.0);
+            mean += delta_n;
+            m4 += term1 * delta_n2 * (nf * nf - 3.0 * nf + 3.0) + 6.0 * delta_n2 * m2
+                - 4.0 * delta_n * m3;
+            m3 += term1 * delta_n * (nf - 2.0) - 3.0 * delta_n * m2;
+            m2 += term1;
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+
+        if n == 0 {
+            return Summary {
+                n,
+                missing,
+                mean: f64::NAN,
+                variance: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                skewness: f64::NAN,
+                kurtosis: f64::NAN,
+            };
+        }
+
+        let nf = n as f64;
+        let variance = if n >= 2 { m2 / (nf - 1.0) } else { 0.0 };
+        let skewness = if n >= 3 && m2 > 0.0 {
+            // Adjusted Fisher–Pearson standardized moment coefficient.
+            let g1 = (nf.sqrt() * m3) / m2.powf(1.5);
+            ((nf * (nf - 1.0)).sqrt() / (nf - 2.0)) * g1
+        } else {
+            f64::NAN
+        };
+        let kurtosis = if n >= 4 && m2 > 0.0 {
+            (nf * m4) / (m2 * m2) - 3.0
+        } else {
+            f64::NAN
+        };
+
+        Summary {
+            n,
+            missing,
+            mean,
+            variance,
+            min,
+            max,
+            skewness,
+            kurtosis,
+        }
+    }
+
+    /// Whether there were no present values.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// The paper's 3-σ limits `(mean - k σ, mean + k σ)` for outlier rules.
+    pub fn sigma_limits(&self, k: f64) -> (f64, f64) {
+        let s = self.std_dev();
+        (self.mean - k * s, self.mean + k * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance = 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn missing_values_are_skipped_and_counted() {
+        let s = Summary::from_slice(&[1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.missing, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::from_slice(&[]);
+        assert!(s.is_empty());
+        assert!(s.mean.is_nan());
+        let s2 = Summary::from_slice(&[f64::NAN]);
+        assert!(s2.is_empty());
+        assert_eq!(s2.missing, 1);
+    }
+
+    #[test]
+    fn skewness_sign_tracks_tail() {
+        let right: Vec<f64> = (0..200).map(|i| ((i as f64) / 20.0).exp()).collect();
+        assert!(Summary::from_slice(&right).skewness > 1.0);
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        assert!(Summary::from_slice(&left).skewness < -1.0);
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(Summary::from_slice(&sym).skewness.abs() < 1e-9);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let k = Summary::from_slice(&xs).kurtosis;
+        assert!((k + 1.2).abs() < 0.05, "uniform excess kurtosis ≈ -1.2, got {k}");
+    }
+
+    #[test]
+    fn small_samples_have_nan_higher_moments() {
+        assert!(Summary::from_slice(&[1.0, 2.0]).skewness.is_nan());
+        assert!(Summary::from_slice(&[1.0, 2.0, 3.0]).kurtosis.is_nan());
+        assert_eq!(Summary::from_slice(&[5.0]).variance, 0.0);
+    }
+
+    #[test]
+    fn sigma_limits_bracket_mean() {
+        let s = Summary::from_slice(&[0.0, 10.0]);
+        let (lo, hi) = s.sigma_limits(3.0);
+        assert!(lo < s.mean && s.mean < hi);
+        assert!((hi - s.mean - 3.0 * s.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_variance() {
+        let s = Summary::from_slice(&[7.0; 10]);
+        assert_eq!(s.variance, 0.0);
+        assert!(s.skewness.is_nan());
+    }
+}

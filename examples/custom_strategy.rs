@@ -1,0 +1,112 @@
+//! Extending the framework with a custom cleaning strategy and a custom
+//! glitch rule, then scoring it against the paper's strategies.
+//!
+//! The framework is designed to be user-extensible (§2.1.6 "Customizable"):
+//! any type implementing `CleaningStrategy` can be evaluated, and
+//! constraint rules are plain data.
+//!
+//! ```text
+//! cargo run --release --example custom_strategy
+//! ```
+
+use rand::RngCore;
+use statistical_distortion::cleaning::CleaningOutcome;
+use statistical_distortion::prelude::*;
+
+/// A median-anchored repair: replaces missing/inconsistent cells with the
+/// per-attribute *median* of the values observed in the same series —
+/// cheaper than model imputation, more local than a global mean.
+struct SeriesMedianImpute;
+
+impl CleaningStrategy for SeriesMedianImpute {
+    fn name(&self) -> String {
+        "series-median impute".into()
+    }
+
+    fn clean(
+        &self,
+        data: &mut Dataset,
+        glitches: &[statistical_distortion::glitch::GlitchMatrix],
+        _ctx: &CleaningContext,
+        _rng: &mut dyn RngCore,
+    ) -> CleaningOutcome {
+        let mut outcome = CleaningOutcome::default();
+        let v = data.num_attributes();
+        for (series, g) in data.series_mut().iter_mut().zip(glitches) {
+            for a in 0..v {
+                let median = statistical_distortion::stats::quantile(series.attribute(a), 0.5);
+                let Some(median) = median else { continue };
+                for t in 0..series.len() {
+                    let treat = g.get(a, GlitchType::Missing, t)
+                        || g.get(a, GlitchType::Inconsistent, t);
+                    if treat {
+                        series.set(a, t, median);
+                        outcome.mean_imputed_cells += 1;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+fn main() {
+    let data = generate(&NetsimConfig::harness_scale(55)).dataset;
+
+    // A customized rule set: the paper's three rules plus a volume floor.
+    let mut rules = ConstraintSet::paper_rules(0, 2).constraints().to_vec();
+    rules.push(Constraint::NonNegative { attr: 1 });
+    let constraints = ConstraintSet::new(rules);
+
+    let mut config = ExperimentConfig::paper_default(80, 9);
+    config.replications = 8;
+    config.constraints = constraints.clone();
+
+    // Score the built-in strategies through the framework...
+    let builtin: Vec<_> = vec![paper_strategy(2), paper_strategy(4)];
+    let experiment = Experiment::new(config.clone());
+    let result = experiment.run(&data, &builtin).expect("experiment runs");
+
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "strategy", "improvement", "distortion"
+    );
+    for (si, s) in builtin.iter().enumerate() {
+        let (imp, dist) = result.mean_point(si).unwrap();
+        println!("{:<28} {:>12.3} {:>12.4}", s.name(), imp, dist);
+    }
+
+    // ...and the custom strategy through the same replication pipeline.
+    let prepared = experiment.prepare(&data).expect("prepare");
+    let custom = SeriesMedianImpute;
+    let index = GlitchIndex::new(config.weights);
+    let (mut imp_acc, mut dist_acc) = (0.0, 0.0);
+    for i in 0..config.replications {
+        let artifacts = prepared.replication(i);
+        let mut cleaned = artifacts.dirty.clone();
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        custom.clean(&mut cleaned, &artifacts.dirty_matrices, &artifacts.context, &mut rng);
+        let treated = artifacts.redetect(&cleaned);
+        imp_acc += index.improvement(&artifacts.dirty_matrices, &treated);
+        dist_acc += statistical_distortion::core::statistical_distortion(
+            &artifacts.dirty,
+            &cleaned,
+            prepared.transforms(),
+            config.metric,
+        )
+        .expect("distortion");
+    }
+    let n = config.replications as f64;
+    println!(
+        "{:<28} {:>12.3} {:>12.4}",
+        custom.name(),
+        imp_acc / n,
+        dist_acc / n
+    );
+
+    println!(
+        "\nReading: the custom repair slots into the identical protocol, \
+         so its (improvement, distortion) point is directly comparable \
+         with the paper's strategies."
+    );
+}

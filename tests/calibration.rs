@@ -1,0 +1,72 @@
+//! Calibration: the generated telemetry's detected glitch rates must land
+//! near the paper's Table 1 "Dirty" columns at full series length.
+//!
+//! Detection-only (no cleaning), so this stays fast in debug builds.
+
+use statistical_distortion::prelude::*;
+
+fn detected_rates(log: bool) -> (f64, f64, f64) {
+    // 200 series × 170 steps, the paper's series length.
+    let config = NetsimConfig {
+        topology: Topology::new(2, 10, 10),
+        series_len: 170,
+        seed: 97,
+        dirty_tower_fraction: 0.5,
+        rates: GlitchRates::default(),
+        kpi: statistical_distortion::netsim::KpiParams::default(),
+    };
+    let data = generate(&config).dataset;
+    let transforms = vec![
+        if log {
+            AttributeTransform::log()
+        } else {
+            AttributeTransform::Identity
+        },
+        AttributeTransform::Identity,
+        AttributeTransform::Identity,
+    ];
+    let constraints = ConstraintSet::paper_rules(0, 2);
+    let partition = partition_ideal(&data, &constraints, &transforms, 3.0, 0.05).unwrap();
+    let ideal = partition.ideal_dataset(&data);
+    let dirty = partition.dirty_dataset(&data);
+    let detector = GlitchDetector::new(
+        constraints,
+        Some(OutlierDetector::fit(&ideal, &transforms, 3.0)),
+    );
+    let report = GlitchReport::from_matrices(&detector.detect_dataset(&dirty));
+    (
+        report.record_percentage(GlitchType::Missing),
+        report.record_percentage(GlitchType::Inconsistent),
+        report.record_percentage(GlitchType::Outlier),
+    )
+}
+
+#[test]
+fn dirty_rates_match_table1_log_block() {
+    let (missing, inconsistent, outliers) = detected_rates(true);
+    // Paper: 15.80 / 15.88 / 16.77 (n=100, log).
+    assert!((missing - 15.8).abs() < 4.0, "missing {missing}");
+    assert!((inconsistent - 15.9).abs() < 4.0, "inconsistent {inconsistent}");
+    assert!((outliers - 16.8).abs() < 5.0, "outliers {outliers}");
+    // Missing and inconsistent co-occur (near-equal rates).
+    assert!((missing - inconsistent).abs() < 3.0);
+}
+
+#[test]
+fn dirty_rates_match_table1_raw_block() {
+    let (missing, inconsistent, outliers) = detected_rates(false);
+    // Paper: 15.80 / 15.88 / 5.07 (n=100, no log).
+    assert!((missing - 15.8).abs() < 4.0, "missing {missing}");
+    assert!((inconsistent - 15.9).abs() < 4.0, "inconsistent {inconsistent}");
+    assert!(outliers < 13.0, "raw outliers should be far below log: {outliers}");
+}
+
+#[test]
+fn log_flags_more_outliers_than_raw() {
+    let (_, _, log_out) = detected_rates(true);
+    let (_, _, raw_out) = detected_rates(false);
+    assert!(
+        log_out > 1.3 * raw_out,
+        "log {log_out} should far exceed raw {raw_out}"
+    );
+}

@@ -1,0 +1,88 @@
+//! Property-based invariants of the cleaning pipeline: winsorization
+//! idempotence and boundedness, mean-imputation completeness, and the
+//! precedence contract between imputation and winsorization.
+
+use proptest::prelude::*;
+use statistical_distortion::cleaning::{CleaningContext, Winsorizer};
+use statistical_distortion::prelude::*;
+
+fn context_from(values: &[f64], transform: AttributeTransform) -> Option<CleaningContext> {
+    let mut series = TimeSeries::new(NodeId::new(0, 0, 0), 1, values.len());
+    for (t, &v) in values.iter().enumerate() {
+        series.set(0, t, v);
+    }
+    let ds = Dataset::new(vec!["a"], vec![series]).ok()?;
+    Some(CleaningContext::fit(&ds, &[transform], 3.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn winsorization_is_idempotent(
+        ideal in prop::collection::vec(-100.0f64..100.0, 5..40),
+        x in -10_000.0f64..10_000.0,
+    ) {
+        let ctx = context_from(&ideal, AttributeTransform::Identity).unwrap();
+        let wz = Winsorizer::from_context(&ctx);
+        let once = wz.repair(0, x);
+        let twice = wz.repair(0, once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+        // And the repaired value is never outlying.
+        prop_assert!(!wz.is_outlying(0, once));
+    }
+
+    #[test]
+    fn winsorization_never_widens(
+        ideal in prop::collection::vec(-100.0f64..100.0, 5..40),
+        x in -10_000.0f64..10_000.0,
+    ) {
+        let ctx = context_from(&ideal, AttributeTransform::Identity).unwrap();
+        let wz = Winsorizer::from_context(&ctx);
+        let repaired = wz.repair(0, x);
+        let (lo, hi) = ctx.limits()[0];
+        prop_assert!(repaired >= lo - 1e-9 && repaired <= hi + 1e-9);
+        // Values already inside the limits pass through untouched.
+        if x >= lo && x <= hi {
+            prop_assert_eq!(repaired.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn log_winsorization_preserves_positivity(
+        ideal in prop::collection::vec(0.5f64..1000.0, 5..40),
+        x in prop::num::f64::POSITIVE.prop_filter("finite", |v| v.is_finite()),
+    ) {
+        let ctx = context_from(&ideal, AttributeTransform::log()).unwrap();
+        let wz = Winsorizer::from_context(&ctx);
+        let repaired = wz.repair(0, x);
+        prop_assert!(repaired > 0.0, "log-space repair must stay positive: {repaired}");
+    }
+
+    #[test]
+    fn mean_imputation_completes_every_treated_cell(
+        missing_at in prop::collection::btree_set(0usize..30, 1..10),
+    ) {
+        // A clean ideal and a dirty copy with injected missing cells.
+        let values: Vec<f64> = (0..30).map(|t| 10.0 + t as f64).collect();
+        let ctx = context_from(&values, AttributeTransform::Identity).unwrap();
+
+        let mut dirty_series = TimeSeries::new(NodeId::new(0, 0, 1), 1, 30);
+        for (t, &v) in values.iter().enumerate() {
+            dirty_series.set(0, t, v);
+        }
+        for &t in &missing_at {
+            dirty_series.set_missing(0, t);
+        }
+        let mut dirty = Dataset::new(vec!["a"], vec![dirty_series]).unwrap();
+        let detector = GlitchDetector::new(ConstraintSet::default(), None);
+        let matrices = detector.detect_dataset(&dirty);
+
+        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+        let outcome = paper_strategy(4).clean(&mut dirty, &matrices, &ctx, &mut rng);
+        prop_assert_eq!(outcome.mean_imputed_cells, missing_at.len());
+        for t in 0..30 {
+            prop_assert!(!dirty.series_at(0).is_missing(0, t));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! EMD metric axioms, solver agreement, glitch-index algebra, and
+//! cleaning idempotence.
+
+use proptest::prelude::*;
+use statistical_distortion::emd::{
+    emd, emd_1d_weighted, ground_distance_matrix, MinCostFlow, Signature, TransportProblem,
+};
+use statistical_distortion::glitch::{GlitchIndex, GlitchMatrix, GlitchType, GlitchWeights};
+use statistical_distortion::stats::{quantile, sorted_present, Ecdf};
+
+/// A random 1-D signature: points in [-50, 50], weights in (0, 10].
+fn signature_1d(max_len: usize) -> impl Strategy<Value = Signature> {
+    prop::collection::vec((-50.0f64..50.0, 0.01f64..10.0), 1..max_len).prop_map(|pairs| {
+        let (points, weights): (Vec<Vec<f64>>, Vec<f64>) = pairs
+            .into_iter()
+            .map(|(p, w)| (vec![p], w))
+            .unzip();
+        Signature::new(points, weights).expect("valid signature")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emd_is_nonnegative_and_zero_on_self(sig in signature_1d(12)) {
+        let d = emd(&sig, &sig).unwrap();
+        prop_assert!(d >= 0.0);
+        prop_assert!(d < 1e-9, "self-distance {d}");
+    }
+
+    #[test]
+    fn emd_is_symmetric(a in signature_1d(10), b in signature_1d(10)) {
+        let ab = emd(&a, &b).unwrap();
+        let ba = emd(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-8, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn emd_satisfies_triangle_inequality(
+        a in signature_1d(8),
+        b in signature_1d(8),
+        c in signature_1d(8),
+    ) {
+        let ab = emd(&a, &b).unwrap();
+        let bc = emd(&b, &c).unwrap();
+        let ac = emd(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-8, "ac {ac} > ab {ab} + bc {bc}");
+    }
+
+    #[test]
+    fn simplex_matches_flow_solver(
+        supply in prop::collection::vec(0.01f64..1.0, 1..8),
+        demand in prop::collection::vec(0.01f64..1.0, 1..8),
+        seed in 0u64..1000,
+    ) {
+        // Balance the problem.
+        let st: f64 = supply.iter().sum();
+        let dt: f64 = demand.iter().sum();
+        let supply: Vec<f64> = supply.iter().map(|x| x / st).collect();
+        let demand: Vec<f64> = demand.iter().map(|x| x / dt).collect();
+        // Deterministic pseudo-random costs from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut cost = Vec::with_capacity(supply.len() * demand.len());
+        for _ in 0..supply.len() * demand.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cost.push(((state >> 33) as f64) / (u32::MAX as f64) * 5.0);
+        }
+        let via_simplex = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let via_flow = MinCostFlow::new(supply, demand, cost).unwrap().solve().unwrap();
+        prop_assert!((via_simplex - via_flow).abs() < 1e-7, "{via_simplex} vs {via_flow}");
+    }
+
+    #[test]
+    fn simplex_matches_1d_closed_form(
+        a in prop::collection::vec((-20.0f64..20.0, 0.01f64..5.0), 1..10),
+        b in prop::collection::vec((-20.0f64..20.0, 0.01f64..5.0), 1..10),
+    ) {
+        let (ap, aw): (Vec<f64>, Vec<f64>) = a.into_iter().unzip();
+        let (bp, bw): (Vec<f64>, Vec<f64>) = b.into_iter().unzip();
+        let exact = emd_1d_weighted(&ap, &aw, &bp, &bw).unwrap();
+        let a_sig = Signature::new(ap.iter().map(|&x| vec![x]).collect(), aw.clone()).unwrap();
+        let b_sig = Signature::new(bp.iter().map(|&x| vec![x]).collect(), bw.clone()).unwrap();
+        let cost = ground_distance_matrix(a_sig.points(), b_sig.points());
+        let via_simplex = TransportProblem::new(
+            a_sig.normalized_weights(),
+            b_sig.normalized_weights(),
+            cost,
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        prop_assert!((exact - via_simplex).abs() < 1e-8, "{exact} vs {via_simplex}");
+    }
+
+    #[test]
+    fn translation_shifts_emd_linearly(
+        points in prop::collection::vec(-10.0f64..10.0, 2..20),
+        delta in 0.1f64..30.0,
+    ) {
+        let shifted: Vec<f64> = points.iter().map(|x| x + delta).collect();
+        let d = statistical_distortion::emd::emd_1d_samples(&points, &shifted).unwrap();
+        prop_assert!((d - delta).abs() < 1e-9, "shift {delta} gave EMD {d}");
+    }
+
+    #[test]
+    fn ecdf_is_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let e = Ecdf::new(&xs);
+        let sorted = sorted_present(&xs);
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let f = e.eval(x);
+            prop_assert!(f >= prev);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        prop_assert_eq!(e.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn glitch_index_is_monotone_in_flags(
+        len in 1usize..40,
+        flags in prop::collection::vec((0usize..3, 0usize..40), 0..30),
+    ) {
+        let index = GlitchIndex::new(GlitchWeights::paper());
+        let mut m = GlitchMatrix::new(1, len);
+        let mut prev = 0.0;
+        for (k, t) in flags {
+            let g = GlitchType::from_index(k).unwrap();
+            m.set(0, g, t % len);
+            let score = index.node_score(&m);
+            prop_assert!(score >= prev - 1e-12, "score decreased: {score} < {prev}");
+            prev = score;
+        }
+    }
+
+    #[test]
+    fn improvement_is_antisymmetric(
+        flags_a in prop::collection::vec((0usize..3, 0usize..20), 0..20),
+        flags_b in prop::collection::vec((0usize..3, 0usize..20), 0..20),
+    ) {
+        let build = |flags: &[(usize, usize)]| {
+            let mut m = GlitchMatrix::new(1, 20);
+            for &(k, t) in flags {
+                m.set(0, GlitchType::from_index(k).unwrap(), t % 20);
+            }
+            vec![m]
+        };
+        let index = GlitchIndex::new(GlitchWeights::paper());
+        let a = build(&flags_a);
+        let b = build(&flags_b);
+        let ab = index.improvement(&a, &b);
+        let ba = index.improvement(&b, &a);
+        prop_assert!((ab + ba).abs() < 1e-12);
+    }
+}
