@@ -66,7 +66,11 @@ fn bench_ablation(c: &mut Criterion) {
     for (label, metric) in metrics() {
         let d_gentle = statistical_distortion(&dirty, &gentle, &tf, metric).unwrap();
         let d_destr = statistical_distortion(&dirty, &destructive, &tf, metric).unwrap();
-        let ratio = if d_gentle > 0.0 { d_destr / d_gentle } else { f64::INFINITY };
+        let ratio = if d_gentle > 0.0 {
+            d_destr / d_gentle
+        } else {
+            f64::INFINITY
+        };
         eprintln!("{label:<12} gentle {d_gentle:.5}  destructive {d_destr:.5}  ratio {ratio:.1}");
     }
 
@@ -75,8 +79,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (label, metric) in metrics() {
         group.bench_function(label, |bench| {
             bench.iter(|| {
-                statistical_distortion(black_box(&dirty), black_box(&gentle), &tf, metric)
-                    .unwrap()
+                statistical_distortion(black_box(&dirty), black_box(&gentle), &tf, metric).unwrap()
             });
         });
     }

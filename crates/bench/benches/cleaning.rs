@@ -43,7 +43,11 @@ fn bench_em_fit(c: &mut Criterion) {
             .map(|i| {
                 let x = (i as f64 * 0.37).sin() * 10.0 + 50.0;
                 let y = 0.5 * x + (i as f64 * 0.11).cos();
-                let z = if i % 5 == 0 { f64::NAN } else { 0.9 + 0.01 * (i % 7) as f64 };
+                let z = if i % 5 == 0 {
+                    f64::NAN
+                } else {
+                    0.9 + 0.01 * (i % 7) as f64
+                };
                 vec![x, y, z]
             })
             .collect();
@@ -71,5 +75,10 @@ fn bench_impute_throughput(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_strategies, bench_em_fit, bench_impute_throughput);
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_em_fit,
+    bench_impute_throughput
+);
 criterion_main!(benches);

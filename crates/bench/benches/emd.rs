@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sd_emd::{
-    emd_1d_samples, ground_distance_matrix, sinkhorn, MinCostFlow, SinkhornParams,
-    TransportProblem,
+    emd_1d_samples, ground_distance_matrix, sinkhorn, MinCostFlow, SinkhornParams, TransportProblem,
 };
 use std::hint::black_box;
 

@@ -50,8 +50,7 @@ fn bench_distortion_metrics(c: &mut Criterion) {
     ] {
         group.bench_function(label, |bench| {
             bench.iter(|| {
-                statistical_distortion(black_box(&dirty), black_box(&cleaned), &tf, metric)
-                    .unwrap()
+                statistical_distortion(black_box(&dirty), black_box(&cleaned), &tf, metric).unwrap()
             });
         });
     }

@@ -48,8 +48,7 @@ fn bench_scoring(c: &mut Criterion) {
     let tf = transforms();
     let partition = partition_ideal(&data, &constraints, &tf, 3.0, 0.05).unwrap();
     let ideal = partition.ideal_dataset(&data);
-    let detector =
-        GlitchDetector::new(constraints, Some(OutlierDetector::fit(&ideal, &tf, 3.0)));
+    let detector = GlitchDetector::new(constraints, Some(OutlierDetector::fit(&ideal, &tf, 3.0)));
     let matrices = detector.detect_dataset(&data);
     let index = GlitchIndex::new(GlitchWeights::paper());
     c.bench_function("glitch_index_100_series", |bench| {

@@ -49,10 +49,7 @@ fn main() {
     println!("assumed-model 3-sigma limits: [{lo:.1}, {hi:.1}]");
 
     // Winsorize.
-    let repaired: Vec<f64> = actual
-        .iter()
-        .map(|&x| x.clamp(lo, hi))
-        .collect();
+    let repaired: Vec<f64> = actual.iter().map(|&x| x.clamp(lo, hi)).collect();
 
     let spec = HistogramSpec::covering(&actual, 24, 0.02).expect("non-empty");
     let before = Histogram::from_values(spec, &actual);
@@ -84,7 +81,10 @@ fn main() {
         "errors of omission: the suspicious region is not treated",
         suspicious_untouched > 100,
     );
-    shape_check("the blind rule introduces measurable distortion", emd > 0.05);
+    shape_check(
+        "the blind rule introduces measurable distortion",
+        emd > 0.05,
+    );
     shape_check(
         "true extreme outliers are clamped",
         repaired.iter().all(|&x| x >= lo && x <= hi),

@@ -17,7 +17,10 @@ fn main() {
     let harness = HarnessConfig::from_env();
     let points = budget_tradeoff(20_000, 0.2, harness.seed);
 
-    println!("{:<36} {:>12} {:>12}", "strategy ($K budget)", "% cleaned", "EMD");
+    println!(
+        "{:<36} {:>12} {:>12}",
+        "strategy ($K budget)", "% cleaned", "EMD"
+    );
     for p in &points {
         println!(
             "{:<36} {:>12.1} {:>12.4}",

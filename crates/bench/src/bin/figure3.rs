@@ -18,7 +18,10 @@ fn main() {
     config.threads = harness.threads;
 
     let f3 = figure3_series(&data, &config).expect("figure 3 data");
-    println!("{:>5} {:>9} {:>13} {:>9}", "t", "missing", "inconsistent", "outliers");
+    println!(
+        "{:>5} {:>9} {:>13} {:>9}",
+        "t", "missing", "inconsistent", "outliers"
+    );
     for t in 0..f3.missing.len() {
         println!(
             "{t:>5} {:>9} {:>13} {:>9}",
@@ -33,7 +36,9 @@ fn main() {
     let (mm, _) = mean_sd(&m);
     let (im, _) = mean_sd(&i);
     let (om, _) = mean_sd(&o);
-    println!("\nmean counts per time step: missing {mm:.1}, inconsistent {im:.1}, outliers {om:.1}");
+    println!(
+        "\nmean counts per time step: missing {mm:.1}, inconsistent {im:.1}, outliers {om:.1}"
+    );
     println!("missing-vs-inconsistent correlation across time: {corr_mi:.3}");
 
     shape_check(

@@ -13,8 +13,8 @@
 //! ```
 
 use sd_bench::{shape_check, HarnessConfig};
-use sd_core::{figure4_scatter, ExperimentConfig};
 use sd_cleaning::paper_strategy;
+use sd_core::{figure4_scatter, ExperimentConfig};
 
 use sd_core::ScatterPoint;
 
@@ -43,7 +43,13 @@ fn summarize(points: &[ScatterPoint]) -> (usize, usize, usize, usize, usize) {
             K::StillMissing => still_missing += 1,
         }
     }
-    (unchanged, imputed, rewritten, still_missing, negative_imputed)
+    (
+        unchanged,
+        imputed,
+        rewritten,
+        still_missing,
+        negative_imputed,
+    )
 }
 
 fn main() {
@@ -57,18 +63,26 @@ fn main() {
         config.replications = harness.replications;
         config.log_transform_attr1 = log;
         config.threads = harness.threads;
-        let pair =
-            figure4_scatter(&data, &config, &strategy, 0, 200_000).expect("scatter data");
-        let (unchanged, imputed, rewritten, still_missing, negative) =
-            summarize(&pair.points);
-        println!("\n== Figure 4 {label} — attribute 1 under '{}' ==", pair.label);
+        let pair = figure4_scatter(&data, &config, &strategy, 0, 200_000).expect("scatter data");
+        let (unchanged, imputed, rewritten, still_missing, negative) = summarize(&pair.points);
+        println!(
+            "\n== Figure 4 {label} — attribute 1 under '{}' ==",
+            pair.label
+        );
         println!("points: {}", pair.points.len());
         println!("  unchanged (y = x diagonal):   {unchanged}");
         println!("  imputed from missing (gray):  {imputed}");
         println!("  rewritten (winsorized/incons): {rewritten}");
         println!("  still missing (residual):     {still_missing}");
         println!("  negative treated values:      {negative}");
-        results.push((label, unchanged, imputed, rewritten, still_missing, negative));
+        results.push((
+            label,
+            unchanged,
+            imputed,
+            rewritten,
+            still_missing,
+            negative,
+        ));
 
         harness.write_json(
             &format!("figure4_{}.json", if log { "log" } else { "raw" }),
@@ -96,10 +110,7 @@ fn main() {
         "negative imputations occur without the log transform",
         raw.5 > 0,
     );
-    shape_check(
-        "log transform prevents negative imputed loads",
-        log.5 == 0,
-    );
+    shape_check("log transform prevents negative imputed loads", log.5 == 0);
     shape_check(
         "most data stays on the y = x diagonal",
         raw.1 > raw.3 && log.1 > log.3,

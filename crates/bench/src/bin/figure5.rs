@@ -58,10 +58,7 @@ fn main() {
         above_one.push((pair.label.clone(), imputed.len(), over));
 
         harness.write_json(
-            &format!(
-                "figure5_{}.json",
-                pair.label.replace(' ', "_")
-            ),
+            &format!("figure5_{}.json", pair.label.replace(' ', "_")),
             &serde_json::json!({
                 "strategy": pair.label,
                 "points": pair.points
@@ -91,7 +88,10 @@ fn main() {
                 .filter(|p| p.kind == ScatterPointKind::ImputedFromMissing)
                 .filter_map(|p| p.treated)
                 .collect();
-            let near = imputed.iter().filter(|&&v| (0.7..=1.1).contains(&v)).count();
+            let near = imputed
+                .iter()
+                .filter(|&&v| (0.7..=1.1).contains(&v))
+                .count();
             imputed.is_empty() || near * 2 > imputed.len()
         }),
     );

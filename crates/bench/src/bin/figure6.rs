@@ -50,7 +50,10 @@ fn main() {
             let distortions: Vec<f64> = outcomes.iter().map(|o| o.distortion).collect();
             let (mi, si_) = mean_sd(&improvements);
             let (md, sd_) = mean_sd(&distortions);
-            println!("{:<32} {mi:>12.3} {si_:>10.3} {md:>12.4} {sd_:>10.4}", s.name());
+            println!(
+                "{:<32} {mi:>12.3} {si_:>10.3} {md:>12.4} {sd_:>10.4}",
+                s.name()
+            );
             spreads.push((s.name(), mi, md, si_, sd_));
             if label.starts_with("(a)") {
                 panel_a_means.push((s.name(), mi, md));
@@ -130,5 +133,8 @@ fn main() {
         a2.1, a4.1
     );
 
-    harness.write_json("figure6.json", &serde_json::json!({ "panels": json_panels }));
+    harness.write_json(
+        "figure6.json",
+        &serde_json::json!({ "panels": json_panels }),
+    );
 }

@@ -55,7 +55,10 @@ fn main() {
                 .collect();
             let (mi, si) = mean_sd(&imps);
             let (md, sd) = mean_sd(&emds);
-            println!("{:>9.0} {mi:>12.3} {si:>10.3} {md:>12.4} {sd:>10.4}", fraction * 100.0);
+            println!(
+                "{:>9.0} {mi:>12.3} {si:>10.3} {md:>12.4} {sd:>10.4}",
+                fraction * 100.0
+            );
             summary.push(serde_json::json!({
                 "fraction": fraction,
                 "improvement_mean": mi,
@@ -103,5 +106,8 @@ fn main() {
         (f100.1 - f50.1) < (f50.1 - f0.1),
     );
 
-    harness.write_json("figure7.json", &serde_json::json!({ "panels": json_panels }));
+    harness.write_json(
+        "figure7.json",
+        &serde_json::json!({ "panels": json_panels }),
+    );
 }

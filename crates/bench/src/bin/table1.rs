@@ -73,10 +73,17 @@ fn main() {
         "strategy 2 leaves (and grows) outliers",
         log100_s2.treated_pct[2] >= log100_s2.dirty_pct[2] * 0.9,
     );
+    // Strategy 3 never *treats* missing or inconsistent cells, so the
+    // missing rate must be byte-identical. The inconsistent rate may dip
+    // slightly: the value-based inconsistencies (negative loads, ratios
+    // above one — ~1.4 % of records by injection rate) double as 3-σ
+    // outliers, and winsorizing those cells resolves the violation as a
+    // side effect. It must never increase.
+    let s3_incon_drop = log100_s3.dirty_pct[1] - log100_s3.treated_pct[1];
     shape_check(
-        "strategy 3 leaves missing/inconsistent untouched",
-        (log100_s3.treated_pct[0] - log100_s3.dirty_pct[0]).abs() < 0.5
-            && (log100_s3.treated_pct[1] - log100_s3.dirty_pct[1]).abs() < 0.5,
+        "strategy 3 leaves missing untouched; inconsistent drops only via outlier overlap",
+        (log100_s3.treated_pct[0] - log100_s3.dirty_pct[0]).abs() < 1e-9
+            && (0.0..2.0).contains(&s3_incon_drop),
     );
     shape_check(
         "strategies 4/5 drive missing and inconsistent to zero",

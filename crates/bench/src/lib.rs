@@ -148,7 +148,10 @@ pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
 /// Prints a PASS/FAIL shape-check line (the qualitative targets from the
 /// paper that the reproduction must preserve).
 pub fn shape_check(label: &str, ok: bool) {
-    println!("shape-check: {label} … {}", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "shape-check: {label} … {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 #[cfg(test)]

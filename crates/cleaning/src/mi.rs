@@ -264,8 +264,7 @@ fn build_solvers(mean: &[f64], cov: &Matrix) -> Result<HashMap<u32, PatternSolve
                 observed,
                 missing,
                 gain: Matrix::zeros(0, 0),
-                cond_chol: CholeskyFactor::new(&Matrix::identity(1))
-                    .expect("identity factors"),
+                cond_chol: CholeskyFactor::new(&Matrix::identity(1)).expect("identity factors"),
             }
         } else if observed.is_empty() {
             // Unconditional: gain empty, conditional covariance = Σ.
@@ -414,7 +413,10 @@ mod tests {
                 highs += 1;
             }
         }
-        assert!(highs > trials * 3 / 4, "conditional mean should shift up: {highs}");
+        assert!(
+            highs > trials * 3 / 4,
+            "conditional mean should shift up: {highs}"
+        );
     }
 
     #[test]

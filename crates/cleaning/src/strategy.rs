@@ -369,8 +369,14 @@ mod tests {
         let s = data.series_at(0);
         assert!(s.is_missing(0, 3), "missing untouched");
         let (lo, hi) = f.ctx.limits()[0];
-        assert!((s.get(0, 7) - lo).abs() < 1e-9, "negative clamped to lower limit");
-        assert!((s.get(0, 11) - hi).abs() < 1e-9, "spike clamped to upper limit");
+        assert!(
+            (s.get(0, 7) - lo).abs() < 1e-9,
+            "negative clamped to lower limit"
+        );
+        assert!(
+            (s.get(0, 11) - hi).abs() < 1e-9,
+            "spike clamped to upper limit"
+        );
     }
 
     #[test]
@@ -457,8 +463,8 @@ mod tests {
         // Duplicate the dirty series so we have two.
         let data = f.dirty.clone();
         let extra = data.series_at(0).clone();
-        let mut data2 = Dataset::new(vec!["a", "b"], vec![data.series_at(0).clone(), extra])
-            .unwrap();
+        let mut data2 =
+            Dataset::new(vec!["a", "b"], vec![data.series_at(0).clone(), extra]).unwrap();
         let glitches = vec![f.glitches[0].clone(), f.glitches[0].clone()];
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = paper_strategy(5).clean_filtered(
@@ -482,8 +488,7 @@ mod tests {
         let f = fixture();
         let mut data = f.dirty.clone();
         let mut rng = StdRng::seed_from_u64(1);
-        let strategy =
-            CompositeStrategy::new(MissingTreatment::Ignore, OutlierTreatment::Ignore);
+        let strategy = CompositeStrategy::new(MissingTreatment::Ignore, OutlierTreatment::Ignore);
         let outcome = strategy.clean(&mut data, &f.glitches, &f.ctx, &mut rng);
         assert_eq!(outcome.cells_changed(), 0);
         assert!(data.same_data(&f.dirty));

@@ -64,7 +64,9 @@ pub fn budget_tradeoff(n: usize, missing_fraction: f64, seed: u64) -> Vec<Budget
 
     // Ground truth and the dirty view (missing values deleted).
     let truth: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
-    let missing: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < missing_fraction).collect();
+    let missing: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() < missing_fraction)
+        .collect();
     let observed: Vec<f64> = truth
         .iter()
         .zip(&missing)

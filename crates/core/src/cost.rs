@@ -65,8 +65,7 @@ pub fn cost_sweep(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPo
                     &mut rng,
                 );
                 let treated_matrices = artifacts.redetect(&cleaned);
-                let improvement =
-                    index.improvement(&artifacts.dirty_matrices, &treated_matrices);
+                let improvement = index.improvement(&artifacts.dirty_matrices, &treated_matrices);
                 // Working-space distortion, matching
                 // `PreparedExperiment::evaluate`.
                 let distortion = statistical_distortion(
@@ -136,10 +135,7 @@ mod tests {
         let points = cost_sweep(&data, &sweep_config()).unwrap();
         // Compare per-replication so sampling noise cancels.
         for rep in 0..3 {
-            let by_frac: Vec<&CostPoint> = points
-                .iter()
-                .filter(|p| p.replication == rep)
-                .collect();
+            let by_frac: Vec<&CostPoint> = points.iter().filter(|p| p.replication == rep).collect();
             let f0 = by_frac.iter().find(|p| p.fraction == 0.0).unwrap();
             let f50 = by_frac.iter().find(|p| p.fraction == 0.5).unwrap();
             let f100 = by_frac.iter().find(|p| p.fraction == 1.0).unwrap();

@@ -250,8 +250,7 @@ mod tests {
         let mut c = dataset(0.0);
         c.series_mut()[0].set_missing(0, 5);
         c.series_mut()[0].set_missing(1, 9);
-        let s =
-            statistical_distortion(&d, &c, &ID, DistortionMetric::paper_default()).unwrap();
+        let s = statistical_distortion(&d, &c, &ID, DistortionMetric::paper_default()).unwrap();
         assert!(s.is_finite() && s >= 0.0);
     }
 

@@ -45,7 +45,11 @@ mod tests {
             .to_string()
             .contains("5 %"));
         assert!(FrameworkError::NoDirtyData.to_string().contains("dirty"));
-        assert!(FrameworkError::Distortion("x".into()).to_string().contains("x"));
-        assert!(FrameworkError::InvalidConfig("y".into()).to_string().contains("y"));
+        assert!(FrameworkError::Distortion("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(FrameworkError::InvalidConfig("y".into())
+            .to_string()
+            .contains("y"));
     }
 }

@@ -1,6 +1,4 @@
-use crate::{
-    parallel_map, partition_ideal, statistical_distortion, DistortionMetric, Result,
-};
+use crate::{parallel_map, partition_ideal, statistical_distortion, DistortionMetric, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningContext, CleaningOutcome, CleaningStrategy, CompositeStrategy};
@@ -210,8 +208,7 @@ impl PreparedExperiment {
             .sampler
             .sample_pair(&self.dirty_pool, &self.ideal_pool, i);
         let outliers = OutlierDetector::fit(&pair.ideal, &self.transforms, self.config.sigma_k);
-        let context =
-            CleaningContext::from_detector(&pair.ideal, &self.transforms, &outliers);
+        let context = CleaningContext::from_detector(&pair.ideal, &self.transforms, &outliers);
         let detector = GlitchDetector::new(self.config.constraints.clone(), Some(outliers));
         let dirty_matrices = detector.detect_dataset(&pair.dirty);
         ReplicationArtifacts {
@@ -357,7 +354,9 @@ mod tests {
     #[test]
     fn run_produces_all_outcomes() {
         let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
-        let result = Experiment::new(small_config()).run(&data(), &strategies).unwrap();
+        let result = Experiment::new(small_config())
+            .run(&data(), &strategies)
+            .unwrap();
         assert_eq!(result.outcomes().len(), 4 * 5);
         // Every outcome is finite and non-negative in distortion.
         for o in result.outcomes() {
@@ -375,7 +374,9 @@ mod tests {
             sd_cleaning::MissingTreatment::Ignore,
             sd_cleaning::OutlierTreatment::Ignore,
         );
-        let result = Experiment::new(small_config()).run(&data(), &[noop]).unwrap();
+        let result = Experiment::new(small_config())
+            .run(&data(), &[noop])
+            .unwrap();
         for o in result.outcomes() {
             assert_eq!(o.improvement, 0.0);
             assert!(o.distortion.abs() < 1e-9);
@@ -400,20 +401,27 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut c = small_config();
         c.replications = 0;
-        assert!(Experiment::new(c).run(&data(), &[paper_strategy(1)]).is_err());
+        assert!(Experiment::new(c)
+            .run(&data(), &[paper_strategy(1)])
+            .is_err());
     }
 
     #[test]
     fn full_cleaning_improves_glitch_score() {
         let strategies = [paper_strategy(5)];
-        let result = Experiment::new(small_config()).run(&data(), &strategies).unwrap();
+        let result = Experiment::new(small_config())
+            .run(&data(), &strategies)
+            .unwrap();
         for o in result.outcomes() {
             assert!(
                 o.improvement > 0.0,
                 "strategy 5 must improve the glitch index, got {}",
                 o.improvement
             );
-            assert!(o.distortion > 0.0, "cleaning must distort at least a little");
+            assert!(
+                o.distortion > 0.0,
+                "cleaning must distort at least a little"
+            );
         }
     }
 }

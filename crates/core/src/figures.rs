@@ -252,6 +252,8 @@ mod tests {
         let result = Experiment::new(config()).run(&d, &strategies).unwrap();
         let points = figure6_points(&result);
         assert_eq!(points.len(), result.outcomes().len());
-        assert!(points.iter().all(|(_, imp, emd)| imp.is_finite() && emd.is_finite()));
+        assert!(points
+            .iter()
+            .all(|(_, imp, emd)| imp.is_finite() && emd.is_finite()));
     }
 }

@@ -22,13 +22,16 @@
 //! `(strategy, replication)` pair. [`tables`] and [`figures`] produce the
 //! exact data behind Table 1 and Figures 2–7.
 //!
-//! ```no_run
+//! ```
 //! use sd_core::{Experiment, ExperimentConfig};
 //! use sd_cleaning::paper_strategy;
 //! use sd_netsim::{generate, NetsimConfig};
 //!
-//! let data = generate(&NetsimConfig::harness_scale(7)).dataset;
-//! let config = ExperimentConfig::paper_default(100, 42);
+//! // Swap in `NetsimConfig::harness_scale(7)` and
+//! // `ExperimentConfig::paper_default(100, 42)` for paper-scale runs.
+//! let data = generate(&NetsimConfig::small(7)).dataset;
+//! let mut config = ExperimentConfig::paper_default(20, 42);
+//! config.replications = 4;
 //! let experiment = Experiment::new(config);
 //! let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
 //! let result = experiment.run(&data, &strategies).unwrap();

@@ -6,8 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// Replications are embarrassingly parallel — each carries its own derived
 /// RNG stream — so the experiment runner fans them out with a simple
-/// work-stealing counter over a crossbeam scope. `threads == 0` selects the
-/// machine's available parallelism.
+/// work-stealing counter over a `std::thread::scope`. `threads == 0`
+/// selects the machine's available parallelism. Results are reassembled in
+/// index order, so the output is independent of the thread count.
 pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -30,9 +31,9 @@ where
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -41,8 +42,7 @@ where
                 results.lock().push((i, value));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut collected = results.into_inner();
     collected.sort_by_key(|&(i, _)| i);

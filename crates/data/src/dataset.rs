@@ -239,7 +239,9 @@ mod tests {
     fn push_validates_schema() {
         let mut ds = make(1);
         assert!(ds.push(TimeSeries::new(NodeId::new(0, 0, 9), 2, 2)).is_ok());
-        assert!(ds.push(TimeSeries::new(NodeId::new(0, 0, 8), 1, 2)).is_err());
+        assert!(ds
+            .push(TimeSeries::new(NodeId::new(0, 0, 8), 1, 2))
+            .is_err());
         assert_eq!(ds.num_series(), 2);
     }
 

@@ -36,7 +36,7 @@ mod series;
 mod topology;
 mod window;
 
-pub use dataset::{AttributeMeta, Dataset, DataError};
+pub use dataset::{AttributeMeta, DataError, Dataset};
 pub use node::{NodeId, RncId, TowerId};
 pub use series::{Record, TimeSeries};
 pub use topology::Topology;

@@ -220,10 +220,8 @@ mod tests {
 
     #[test]
     fn from_columns_layout() {
-        let s = TimeSeries::from_columns(
-            node(),
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
-        );
+        let s =
+            TimeSeries::from_columns(node(), vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         assert_eq!(s.num_attributes(), 3);
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(0, 1), 2.0);

@@ -58,7 +58,10 @@ impl<'a> Window<'a> {
 
     /// Present (non-missing) values of one attribute over the window.
     pub fn present(&self, attr: usize) -> impl Iterator<Item = f64> + '_ {
-        self.attribute(attr).iter().copied().filter(|&x| !is_missing(x))
+        self.attribute(attr)
+            .iter()
+            .copied()
+            .filter(|&x| !is_missing(x))
     }
 
     /// Mean of present values of one attribute, if any are present.
@@ -93,7 +96,10 @@ mod tests {
     fn series() -> TimeSeries {
         TimeSeries::from_columns(
             NodeId::new(0, 0, 0),
-            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![10.0, f64::NAN, 30.0, 40.0, 50.0]],
+            vec![
+                vec![1.0, 2.0, 3.0, 4.0, 5.0],
+                vec![10.0, f64::NAN, 30.0, 40.0, 50.0],
+            ],
         )
     }
 

@@ -47,7 +47,10 @@ impl fmt::Display for EmdError {
             }
             EmdError::InvalidWeight { value } => write!(f, "invalid weight {value}"),
             EmdError::DimensionMismatch { expected, got } => {
-                write!(f, "point dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "point dimension mismatch: expected {expected}, got {got}"
+                )
             }
             EmdError::CostShape { expected, got } => write!(
                 f,

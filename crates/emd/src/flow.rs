@@ -140,10 +140,7 @@ impl MinCostFlow {
         let num_nodes = self.graph.len();
         let source = self.n + self.m;
         let sink = source + 1;
-        let total_mass: f64 = self.graph[source]
-            .iter()
-            .map(|&e| self.edges[e].cap)
-            .sum();
+        let total_mass: f64 = self.graph[source].iter().map(|&e| self.edges[e].cap).sum();
 
         let mut potential = vec![0.0f64; num_nodes];
         let mut total_cost = 0.0;
@@ -230,11 +227,7 @@ mod tests {
 
     #[test]
     fn diagonal_assignment_is_free() {
-        let d = flow_solve(
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![0.0, 9.0, 9.0, 0.0],
-        );
+        let d = flow_solve(vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 9.0, 9.0, 0.0]);
         assert!(d.abs() < 1e-12);
     }
 
@@ -249,7 +242,9 @@ mod tests {
         // Deterministic pseudo-random instances via a simple LCG.
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..20 {
@@ -296,11 +291,7 @@ mod tests {
 
     #[test]
     fn zero_mass_rows_are_skipped() {
-        let d = flow_solve(
-            vec![0.0, 1.0],
-            vec![0.5, 0.5],
-            vec![9.0, 9.0, 1.0, 3.0],
-        );
+        let d = flow_solve(vec![0.0, 1.0], vec![0.5, 0.5], vec![9.0, 9.0, 1.0, 3.0]);
         assert!((d - 2.0).abs() < 1e-12);
     }
 }

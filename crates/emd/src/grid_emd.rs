@@ -181,12 +181,8 @@ impl GridEmd {
         let cost = crate::ground_distance_matrix(sig_a.points(), sig_b.points());
         let exact = sig_a.len() * sig_b.len() <= self.max_exact_cells;
         let emd = if exact {
-            TransportProblem::new(
-                sig_a.normalized_weights(),
-                sig_b.normalized_weights(),
-                cost,
-            )?
-            .solve()?
+            TransportProblem::new(sig_a.normalized_weights(), sig_b.normalized_weights(), cost)?
+                .solve()?
         } else {
             // Debiased Sinkhorn divergence: the raw entropic cost has a
             // positive floor even for identical distributions (the plan is

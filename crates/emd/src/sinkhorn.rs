@@ -84,7 +84,11 @@ pub fn sinkhorn(
             for j in 0..m {
                 kv += k[row + j] * v[j];
             }
-            u[i] = if a[i] == 0.0 { 0.0 } else { a[i] / kv.max(FLOOR) };
+            u[i] = if a[i] == 0.0 {
+                0.0
+            } else {
+                a[i] / kv.max(FLOOR)
+            };
         }
         // v = b ./ (Kᵀ u)
         for j in 0..m {
@@ -92,7 +96,11 @@ pub fn sinkhorn(
             for i in 0..n {
                 ktu += k[i * m + j] * u[i];
             }
-            v[j] = if b[j] == 0.0 { 0.0 } else { b[j] / ktu.max(FLOOR) };
+            v[j] = if b[j] == 0.0 {
+                0.0
+            } else {
+                b[j] / ktu.max(FLOOR)
+            };
         }
         // Marginal violation of the row sums.
         let mut err = 0.0;

@@ -100,11 +100,7 @@ impl TransportProblem {
 
     /// Objective value `Σ f_ij c_ij` of the current flow.
     pub fn objective(&self) -> f64 {
-        self.flow
-            .iter()
-            .zip(&self.cost)
-            .map(|(f, c)| f * c)
-            .sum()
+        self.flow.iter().zip(&self.cost).map(|(f, c)| f * c).sum()
     }
 
     /// Solves the problem and returns the normalized EMD
@@ -331,11 +327,7 @@ mod tests {
         // (supplies 20/25/10... use a verified small instance instead).
         // Supplies [2, 3], demands [2, 3], costs chosen so the optimum is
         // the diagonal assignment.
-        let d = solve(
-            vec![2.0, 3.0],
-            vec![2.0, 3.0],
-            vec![0.0, 10.0, 10.0, 0.0],
-        );
+        let d = solve(vec![2.0, 3.0], vec![2.0, 3.0], vec![0.0, 10.0, 10.0, 0.0]);
         assert!(d.abs() < 1e-12);
     }
 
@@ -361,8 +353,7 @@ mod tests {
             }
         }
         let d_simplex = solve(a_w.to_vec(), b_w.to_vec(), cost);
-        let d_exact =
-            crate::emd_1d_weighted(&a_pts, &a_w, &b_pts, &b_w).unwrap();
+        let d_exact = crate::emd_1d_weighted(&a_pts, &a_w, &b_pts, &b_w).unwrap();
         assert!(
             (d_simplex - d_exact).abs() < 1e-10,
             "{d_simplex} vs {d_exact}"
@@ -372,21 +363,13 @@ mod tests {
     #[test]
     fn degenerate_supplies_handled() {
         // Ties in NW corner produce degenerate basic cells.
-        let d = solve(
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0, 1.0, 0.0],
-        );
+        let d = solve(vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 1.0, 1.0, 0.0]);
         assert!(d.abs() < 1e-12);
     }
 
     #[test]
     fn zero_weight_bins_are_tolerated() {
-        let d = solve(
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![0.0, 5.0, 2.0, 5.0],
-        );
+        let d = solve(vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 5.0, 2.0, 5.0]);
         assert!((d - 2.0).abs() < 1e-12);
     }
 
@@ -419,12 +402,8 @@ mod tests {
 
     #[test]
     fn flow_conserves_mass() {
-        let mut p = TransportProblem::new(
-            vec![0.3, 0.7],
-            vec![0.5, 0.5],
-            vec![1.0, 2.0, 3.0, 0.5],
-        )
-        .unwrap();
+        let mut p = TransportProblem::new(vec![0.3, 0.7], vec![0.5, 0.5], vec![1.0, 2.0, 3.0, 0.5])
+            .unwrap();
         p.solve().unwrap();
         let flow = p.flow();
         // Row sums equal supplies; column sums equal demands.

@@ -146,7 +146,12 @@ impl Default for GlitchIndex {
 mod tests {
     use super::*;
 
-    fn matrix_with(missing: usize, inconsistent: usize, outlier: usize, len: usize) -> GlitchMatrix {
+    fn matrix_with(
+        missing: usize,
+        inconsistent: usize,
+        outlier: usize,
+        len: usize,
+    ) -> GlitchMatrix {
         let mut g = GlitchMatrix::new(1, len);
         for t in 0..missing {
             g.set(0, GlitchType::Missing, t);

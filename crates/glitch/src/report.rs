@@ -116,7 +116,11 @@ pub fn co_occurrence(matrices: &[GlitchMatrix], a: GlitchType, b: GlitchType) ->
     CoOccurrence {
         a,
         b,
-        both: if total == 0 { 0.0 } else { both as f64 / total as f64 },
+        both: if total == 0 {
+            0.0
+        } else {
+            both as f64 / total as f64
+        },
         jaccard: if either == 0 {
             0.0
         } else {

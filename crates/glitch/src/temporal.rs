@@ -21,7 +21,13 @@ impl CountingProcess {
     /// series' annotations.
     pub fn from_matrix(matrix: &GlitchMatrix, glitch: GlitchType) -> Self {
         let indicator = (0..matrix.len())
-            .map(|t| if matrix.record_has(glitch, t) { 1.0 } else { 0.0 })
+            .map(|t| {
+                if matrix.record_has(glitch, t) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         CountingProcess { indicator }
     }
@@ -239,12 +245,22 @@ mod tests {
     #[test]
     fn spatial_concentration_separates_clustered_from_uniform() {
         // 4 towers; all glitches on towers 0 and 1.
-        let clustered = vec![bursty_matrix(), bursty_matrix(), GlitchMatrix::new(1, 60), GlitchMatrix::new(1, 60)];
+        let clustered = vec![
+            bursty_matrix(),
+            bursty_matrix(),
+            GlitchMatrix::new(1, 60),
+            GlitchMatrix::new(1, 60),
+        ];
         let towers = vec![0, 1, 2, 3];
         let c = spatial_concentration(&clustered, &towers, GlitchType::Missing).unwrap();
         assert!((c - 1.0).abs() < 1e-12, "all mass on the dirtiest half");
 
-        let uniform = vec![spread_matrix(), spread_matrix(), spread_matrix(), spread_matrix()];
+        let uniform = vec![
+            spread_matrix(),
+            spread_matrix(),
+            spread_matrix(),
+            spread_matrix(),
+        ];
         let u = spatial_concentration(&uniform, &towers, GlitchType::Missing).unwrap();
         assert!((u - 0.5).abs() < 1e-12);
         assert!(spatial_concentration(&uniform, &towers, GlitchType::Outlier).is_none());

@@ -188,12 +188,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 3.0, 0.4],
-            &[0.6, 0.4, 2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]]).unwrap()
     }
 
     #[test]

@@ -136,7 +136,11 @@ pub fn pairwise_covariance_matrix(rows: &[Vec<f64>]) -> Result<(Matrix, Vec<f64>
     for i in 0..v {
         for j in i..v {
             let n = pair_n[i * v + j];
-            let c = if n >= 2 { cov[(i, j)] / (n as f64 - 1.0) } else { 0.0 };
+            let c = if n >= 2 {
+                cov[(i, j)] / (n as f64 - 1.0)
+            } else {
+                0.0
+            };
             cov[(i, j)] = c;
             cov[(j, i)] = c;
         }

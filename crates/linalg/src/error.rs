@@ -60,7 +60,9 @@ mod tests {
         assert!(LinalgError::NotPositiveDefinite { pivot: 2 }
             .to_string()
             .contains("pivot 2"));
-        assert!(LinalgError::Singular { pivot: 0 }.to_string().contains("singular"));
+        assert!(LinalgError::Singular { pivot: 0 }
+            .to_string()
+            .contains("singular"));
         assert_eq!(LinalgError::Empty.to_string(), "empty input");
         assert!(LinalgError::NonFinite.to_string().contains("NaN"));
     }

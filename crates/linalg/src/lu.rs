@@ -194,8 +194,7 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
         let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
         let prod = a.mat_mul(&inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);

@@ -184,7 +184,10 @@ mod tests {
         let r = GlitchRates::default();
         // Missing ≈ full + attr1-only + attr3-only, near 15.8 %.
         let missing = r.full_missing + r.attr1_missing + r.attr3_missing;
-        assert!((missing - 0.158).abs() < 0.04, "missing target, got {missing}");
+        assert!(
+            (missing - 0.158).abs() < 0.04,
+            "missing target, got {missing}"
+        );
         // Residual missing after row-conditional imputation = fully-missing
         // records ≈ 0.03 % (Table 1's 0.0281 %).
         assert!(r.full_missing < 0.001);
@@ -196,7 +199,10 @@ mod tests {
         // natural lognormal tails plus the spikes, near 5.1 %.
         let log_outliers = r.spike + r.dropout + r.negative_attr1;
         assert!((log_outliers - 0.168).abs() < 0.05);
-        assert!(r.spike < 0.05, "raw outliers are dominated by natural tails");
+        assert!(
+            r.spike < 0.05,
+            "raw outliers are dominated by natural tails"
+        );
     }
 
     #[test]

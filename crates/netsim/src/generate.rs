@@ -49,8 +49,8 @@ pub fn generate(config: &NetsimConfig) -> GeneratedData {
     let mut dirty_flag = Vec::with_capacity(num_sectors);
 
     for node in topology.sectors() {
-        let tower_idx = (node.rnc as usize) * topology.towers_per_rnc as usize
-            + node.tower as usize;
+        let tower_idx =
+            (node.rnc as usize) * topology.towers_per_rnc as usize + node.tower as usize;
         let dirty = tower_dirty[tower_idx];
         let intensity = tower_intensity[tower_idx];
 

@@ -107,8 +107,7 @@ impl GlitchInjector {
             attr3_missing: BurstProcess::new(rates.attr3_missing * scale, 5.0)
                 .with_intensity(tower_intensity),
             spike: BurstProcess::new(rates.spike * scale, 2.0).with_intensity(tower_intensity),
-            dropout: BurstProcess::new(rates.dropout * scale, 3.0)
-                .with_intensity(tower_intensity),
+            dropout: BurstProcess::new(rates.dropout * scale, 3.0).with_intensity(tower_intensity),
             rates,
             kpi,
         }
@@ -241,8 +240,7 @@ mod tests {
             inj.corrupt_record(&mut values, &mut truth, t, 1.0, &mut rng);
         }
         let missing = truth.count_records(GlitchType::Missing) as f64 / t_len as f64;
-        let inconsistent =
-            truth.count_records(GlitchType::Inconsistent) as f64 / t_len as f64;
+        let inconsistent = truth.count_records(GlitchType::Inconsistent) as f64 / t_len as f64;
         let outlier = truth.count_records(GlitchType::Outlier) as f64 / t_len as f64;
         // Expectations derived from the configured rates (record level,
         // correcting for first-order overlaps).
@@ -253,7 +251,10 @@ mod tests {
             + rates.ratio_above_one;
         let outlier_expect =
             (rates.spike + rates.dropout) * (1.0 - miss_expect - rates.negative_attr1);
-        assert!((missing - miss_expect).abs() < 0.02, "missing {missing} vs {miss_expect}");
+        assert!(
+            (missing - miss_expect).abs() < 0.02,
+            "missing {missing} vs {miss_expect}"
+        );
         assert!(
             (inconsistent - incons_expect).abs() < 0.02,
             "inconsistent {inconsistent} vs {incons_expect}"

@@ -114,7 +114,11 @@ mod tests {
         let loads = sample_attribute(ATTR_LOAD, 5000);
         assert!(loads.iter().all(|&x| x > 0.0));
         let s = Summary::from_slice(&loads);
-        assert!(s.skewness > 0.5, "raw load should be right-skewed, got {}", s.skewness);
+        assert!(
+            s.skewness > 0.5,
+            "raw load should be right-skewed, got {}",
+            s.skewness
+        );
     }
 
     #[test]
@@ -124,7 +128,11 @@ mod tests {
             .map(f64::ln)
             .collect();
         let s = Summary::from_slice(&logs);
-        assert!(s.skewness < -0.2, "log load should be left-skewed, got {}", s.skewness);
+        assert!(
+            s.skewness < -0.2,
+            "log load should be left-skewed, got {}",
+            s.skewness
+        );
     }
 
     #[test]
@@ -132,7 +140,11 @@ mod tests {
         let ratios = sample_attribute(ATTR_RATIO, 5000);
         assert!(ratios.iter().all(|&r| (0.0..=1.0).contains(&r)));
         let s = Summary::from_slice(&ratios);
-        assert!(s.mean > 0.85, "ratio mass should sit near 1, got mean {}", s.mean);
+        assert!(
+            s.mean > 0.85,
+            "ratio mass should sit near 1, got mean {}",
+            s.mean
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl<T> BottomKSketch<T> {
 
     /// Offers an item with weight `w > 0`, drawing its rank from `rng`.
     pub fn offer<R: Rng + ?Sized>(&mut self, item: T, weight: f64, rng: &mut R) {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         // Exponential rank: smaller for heavier items on average.
         let rank = -u.ln() / weight;
@@ -54,9 +57,7 @@ impl<T> BottomKSketch<T> {
     /// Offers an item with an externally supplied rank (for deterministic
     /// tests and coordinated sketches).
     pub fn offer_with_rank(&mut self, item: T, weight: f64, rank: f64) {
-        let pos = self
-            .entries
-            .partition_point(|&(r, _, _)| r <= rank);
+        let pos = self.entries.partition_point(|&(r, _, _)| r <= rank);
         self.entries.insert(pos, (rank, weight, item));
         if self.entries.len() > self.k {
             let (evicted_rank, _, _) = self.entries.pop().expect("len > k");

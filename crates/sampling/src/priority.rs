@@ -41,16 +41,17 @@ impl<T> PrioritySampler<T> {
 
     /// Offers an item with weight `w > 0`.
     pub fn offer<R: Rng + ?Sized>(&mut self, item: T, weight: f64, rng: &mut R) {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         self.offer_with_priority(item, weight, weight / u);
     }
 
     /// Offers an item with an externally supplied priority.
     pub fn offer_with_priority(&mut self, item: T, weight: f64, priority: f64) {
-        let pos = self
-            .entries
-            .partition_point(|&(p, _, _)| p >= priority);
+        let pos = self.entries.partition_point(|&(p, _, _)| p >= priority);
         self.entries.insert(pos, (priority, weight, item));
         if self.entries.len() > self.k {
             let (evicted, _, _) = self.entries.pop().expect("len > k");
@@ -70,7 +71,13 @@ impl<T> PrioritySampler<T> {
         self.entries
             .iter()
             .filter(|(_, _, item)| predicate(item))
-            .map(|(_, w, _)| if self.overflowed { w.max(self.threshold) } else { *w })
+            .map(|(_, w, _)| {
+                if self.overflowed {
+                    w.max(self.threshold)
+                } else {
+                    *w
+                }
+            })
             .sum()
     }
 }

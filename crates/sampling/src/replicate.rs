@@ -140,7 +140,10 @@ mod tests {
         for s in sample.series() {
             seen[s.get(0, 0) as usize] = true;
         }
-        assert!(seen.iter().filter(|&&x| x).count() >= 9, "with-replacement draws should cover nearly all of a small pool");
+        assert!(
+            seen.iter().filter(|&&x| x).count() >= 9,
+            "with-replacement draws should cover nearly all of a small pool"
+        );
     }
 
     #[test]

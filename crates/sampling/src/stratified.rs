@@ -84,9 +84,7 @@ mod tests {
         let mut by_tower: std::collections::HashMap<(u32, u32), usize> =
             std::collections::HashMap::new();
         for s in sample.series() {
-            *by_tower
-                .entry((s.node().rnc, s.node().tower))
-                .or_default() += 1;
+            *by_tower.entry((s.node().rnc, s.node().tower)).or_default() += 1;
         }
         for (&tower, &count) in &by_tower {
             assert_eq!(count % 4, 0, "tower {tower:?} split across the sample");

@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_periodic_signal() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         assert!((autocorrelation(&xs, 2).unwrap() - 1.0).abs() < 1e-12);
         assert!((autocorrelation(&xs, 1).unwrap() + 1.0).abs() < 1e-9);
     }

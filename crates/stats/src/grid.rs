@@ -224,11 +224,8 @@ impl GridHistogram {
     /// Used to align two histograms over the union of their occupied cells
     /// (e.g. for KL divergence, which is a same-bin distance).
     pub fn cell_masses(&self) -> Vec<(Vec<u32>, f64)> {
-        let mut cells: Vec<(Vec<u32>, f64)> = self
-            .cells
-            .iter()
-            .map(|(c, &m)| (c.clone(), m))
-            .collect();
+        let mut cells: Vec<(Vec<u32>, f64)> =
+            self.cells.iter().map(|(c, &m)| (c.clone(), m)).collect();
         cells.sort_by(|a, b| a.0.cmp(&b.0));
         cells
     }

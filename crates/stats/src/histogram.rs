@@ -19,7 +19,10 @@ impl HistogramSpec {
     /// pass a degenerate range) and `bins >= 1`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins >= 1, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "histogram range must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram range must be finite"
+        );
         let (lo, hi) = if lo < hi {
             (lo, hi)
         } else {

@@ -163,7 +163,10 @@ mod tests {
     fn kurtosis_of_uniformish_is_negative() {
         let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let k = Summary::from_slice(&xs).kurtosis;
-        assert!((k + 1.2).abs() < 0.05, "uniform excess kurtosis ≈ -1.2, got {k}");
+        assert!(
+            (k + 1.2).abs() < 0.05,
+            "uniform excess kurtosis ≈ -1.2, got {k}"
+        );
     }
 
     #[test]

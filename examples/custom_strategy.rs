@@ -37,8 +37,8 @@ impl CleaningStrategy for SeriesMedianImpute {
                 let median = statistical_distortion::stats::quantile(series.attribute(a), 0.5);
                 let Some(median) = median else { continue };
                 for t in 0..series.len() {
-                    let treat = g.get(a, GlitchType::Missing, t)
-                        || g.get(a, GlitchType::Inconsistent, t);
+                    let treat =
+                        g.get(a, GlitchType::Missing, t) || g.get(a, GlitchType::Inconsistent, t);
                     if treat {
                         series.set(a, t, median);
                         outcome.mean_imputed_cells += 1;
@@ -85,7 +85,12 @@ fn main() {
         let artifacts = prepared.replication(i);
         let mut cleaned = artifacts.dirty.clone();
         let mut rng = rand::rngs::mock::StepRng::new(7, 11);
-        custom.clean(&mut cleaned, &artifacts.dirty_matrices, &artifacts.context, &mut rng);
+        custom.clean(
+            &mut cleaned,
+            &artifacts.dirty_matrices,
+            &artifacts.context,
+            &mut rng,
+        );
         let treated = artifacts.redetect(&cleaned);
         imp_acc += index.improvement(&artifacts.dirty_matrices, &treated);
         dist_acc += statistical_distortion::core::statistical_distortion(

@@ -10,8 +10,8 @@
 //! cargo run --release --example network_monitoring
 //! ```
 
-use statistical_distortion::prelude::*;
 use statistical_distortion::glitch::{co_occurrence, counts_per_time};
+use statistical_distortion::prelude::*;
 
 fn main() {
     let generated = generate(&NetsimConfig::harness_scale(123));
@@ -85,7 +85,10 @@ fn main() {
     };
     let points = cost_sweep(&data, &sweep).expect("cost sweep");
     println!("\ncost sweep (strategy 1 = winsorize + impute):");
-    println!("{:>10} {:>12} {:>12}", "% cleaned", "improvement", "distortion");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "% cleaned", "improvement", "distortion"
+    );
     for &fraction in &[0.0, 0.2, 0.5, 1.0] {
         let (mut imp, mut dist, mut n) = (0.0, 0.0, 0);
         for p in points.iter().filter(|p| p.fraction == fraction) {

@@ -70,8 +70,8 @@ fn main() {
         AttributeTransform::Identity,
     ];
     let constraints = ConstraintSet::paper_rules(0, 2);
-    let partition = partition_ideal(&data, &constraints, &transforms, 3.0, 0.05)
-        .expect("partition exists");
+    let partition =
+        partition_ideal(&data, &constraints, &transforms, 3.0, 0.05).expect("partition exists");
     let ideal = partition.ideal_dataset(&data);
     let batch = OutlierDetector::fit(&ideal, &transforms, 3.0);
     let mut alarms_batch = 0usize;

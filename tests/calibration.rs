@@ -46,7 +46,10 @@ fn dirty_rates_match_table1_log_block() {
     let (missing, inconsistent, outliers) = detected_rates(true);
     // Paper: 15.80 / 15.88 / 16.77 (n=100, log).
     assert!((missing - 15.8).abs() < 4.0, "missing {missing}");
-    assert!((inconsistent - 15.9).abs() < 4.0, "inconsistent {inconsistent}");
+    assert!(
+        (inconsistent - 15.9).abs() < 4.0,
+        "inconsistent {inconsistent}"
+    );
     assert!((outliers - 16.8).abs() < 5.0, "outliers {outliers}");
     // Missing and inconsistent co-occur (near-equal rates).
     assert!((missing - inconsistent).abs() < 3.0);
@@ -57,8 +60,14 @@ fn dirty_rates_match_table1_raw_block() {
     let (missing, inconsistent, outliers) = detected_rates(false);
     // Paper: 15.80 / 15.88 / 5.07 (n=100, no log).
     assert!((missing - 15.8).abs() < 4.0, "missing {missing}");
-    assert!((inconsistent - 15.9).abs() < 4.0, "inconsistent {inconsistent}");
-    assert!(outliers < 13.0, "raw outliers should be far below log: {outliers}");
+    assert!(
+        (inconsistent - 15.9).abs() < 4.0,
+        "inconsistent {inconsistent}"
+    );
+    assert!(
+        outliers < 13.0,
+        "raw outliers should be far below log: {outliers}"
+    );
 }
 
 #[test]

@@ -58,12 +58,52 @@ fn full_cleaning_strategies_clear_their_targets() {
 fn experiments_are_deterministic_per_seed() {
     let (data, config) = small_experiment(false, 41);
     let strategies = [paper_strategy(1), paper_strategy(4)];
-    let a = Experiment::new(config.clone()).run(&data, &strategies).unwrap();
+    let a = Experiment::new(config.clone())
+        .run(&data, &strategies)
+        .unwrap();
     let b = Experiment::new(config).run(&data, &strategies).unwrap();
     for (x, y) in a.outcomes().iter().zip(b.outcomes()) {
         assert_eq!(x.improvement, y.improvement);
         assert_eq!(x.distortion, y.distortion);
         assert_eq!(x.cleaning, y.cleaning);
+    }
+}
+
+#[test]
+fn determinism_is_bit_identical_across_runs_and_thread_counts() {
+    // Regression guard for the runner: outcomes must not depend on worker
+    // scheduling. The work-stealing loop reassembles results in replication
+    // order, so one seed must yield bit-identical floats for any thread
+    // count and across repeated runs.
+    let (data, config) = small_experiment(true, 97);
+    let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+
+    let run_with_threads = |threads: usize| {
+        let mut c = config.clone();
+        c.threads = threads;
+        Experiment::new(c).run(&data, &strategies).unwrap()
+    };
+
+    let single = run_with_threads(1);
+    let again = run_with_threads(1);
+    let dual = run_with_threads(2);
+    assert_eq!(single.outcomes().len(), dual.outcomes().len());
+    for ((a, b), c) in single
+        .outcomes()
+        .iter()
+        .zip(again.outcomes())
+        .zip(dual.outcomes())
+    {
+        // Bit-level equality, not approximate: the protocol derives every
+        // RNG stream from (seed, replication, strategy), never from the
+        // worker that happens to run it.
+        assert_eq!(a.improvement.to_bits(), b.improvement.to_bits());
+        assert_eq!(a.distortion.to_bits(), b.distortion.to_bits());
+        assert_eq!(a.improvement.to_bits(), c.improvement.to_bits());
+        assert_eq!(a.distortion.to_bits(), c.distortion.to_bits());
+        assert_eq!(a.strategy_index, c.strategy_index);
+        assert_eq!(a.replication, c.replication);
+        assert_eq!(a.cleaning, c.cleaning);
     }
 }
 

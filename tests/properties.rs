@@ -12,10 +12,8 @@ use statistical_distortion::stats::{quantile, sorted_present, Ecdf};
 /// A random 1-D signature: points in [-50, 50], weights in (0, 10].
 fn signature_1d(max_len: usize) -> impl Strategy<Value = Signature> {
     prop::collection::vec((-50.0f64..50.0, 0.01f64..10.0), 1..max_len).prop_map(|pairs| {
-        let (points, weights): (Vec<Vec<f64>>, Vec<f64>) = pairs
-            .into_iter()
-            .map(|(p, w)| (vec![p], w))
-            .unzip();
+        let (points, weights): (Vec<Vec<f64>>, Vec<f64>) =
+            pairs.into_iter().map(|(p, w)| (vec![p], w)).unzip();
         Signature::new(points, weights).expect("valid signature")
     })
 }

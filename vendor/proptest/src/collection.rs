@@ -1,0 +1,86 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A vector of values from `element`, with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A set of values from `element`, with size in `size` (duplicates are
+/// redrawn, bounded by a retry budget like upstream proptest).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut out = BTreeSet::new();
+        let mut tries = 0usize;
+        while out.len() < target && tries < target.saturating_mul(64) + 64 {
+            out.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed_for;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0.0f64..1.0, 3..7);
+        for case in 0..100 {
+            let v = s.generate(&mut seed_for("vec", case));
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_target_when_domain_is_large() {
+        let s = btree_set(0usize..1000, 5..9);
+        for case in 0..50 {
+            let set = s.generate(&mut seed_for("set", case));
+            assert!((5..9).contains(&set.len()), "len {}", set.len());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline vendored shim for the subset of `proptest` this workspace
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_filter`, range,
+//! tuple, and collection strategies, and the [`proptest!`] macro.
+//!
+//! Each property runs `ProptestConfig::cases` times on inputs drawn from
+//! a generator seeded by the test name and case index, so failures are
+//! reproducible run-to-run. There is no shrinking: a failing case panics
+//! with the ordinary assertion message (the deterministic seeding makes
+//! the failing input re-derivable).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod num;
+
+/// Per-property configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the base seed for a property from its name (FNV-1a), so every
+/// property sees an independent but stable input stream.
+pub fn seed_for(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying with fresh draws.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1024 {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1024 consecutive draws",
+            self.reason
+        );
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// Runs one property body over `config.cases` generated cases.
+/// Used by the [`proptest!`] expansion; not part of the public API shape.
+pub fn run_cases<F: FnMut(u64)>(config: &ProptestConfig, mut body: F) {
+    for case in 0..config.cases as u64 {
+        body(case);
+    }
+}
+
+/// `assert!` inside a property (no shrinking, so a plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Declares deterministic property tests:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0.0f64..1.0, n in 1usize..10) { prop_assert!(x < n as f64); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, |case| {
+                    let mut prop_rng = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut prop_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// The common imports: the macro, assertions, [`Strategy`],
+/// [`ProptestConfig`], and the `prop` module tree.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Mirror of proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_compose(
+            x in -5.0f64..5.0,
+            (a, b) in (0usize..4, 10u64..20),
+            v in prop::collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(a < 4 && (10..20).contains(&b));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+
+        #[test]
+        fn map_and_filter_apply(
+            y in (0.0f64..1.0).prop_map(|v| v + 10.0),
+            z in (-10.0f64..10.0).prop_filter("positive", |v| *v > 0.0),
+        ) {
+            prop_assert!((10.0..11.0).contains(&y));
+            prop_assert!(z > 0.0);
+        }
+    }
+
+    #[test]
+    fn seeding_is_stable_per_name_and_case() {
+        use crate::Strategy;
+        let a = (0.0f64..1.0).generate(&mut crate::seed_for("t", 3));
+        let b = (0.0f64..1.0).generate(&mut crate::seed_for("t", 3));
+        let c = (0.0f64..1.0).generate(&mut crate::seed_for("t", 4));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+}

@@ -1,0 +1,56 @@
+//! Numeric bit-class strategies (the `prop::num::f64::POSITIVE` family).
+
+pub mod f64 {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy over positive `f64` values spanning the full exponent
+    /// range, with occasional `+∞` (mirroring upstream, whose POSITIVE
+    /// class includes infinite values — callers filter for finiteness).
+    #[derive(Debug, Clone, Copy)]
+    pub struct PositiveF64;
+
+    /// Positive floats: magnitudes log-uniform across `~1e-300 .. 1e300`,
+    /// plus an occasional infinity.
+    pub const POSITIVE: PositiveF64 = PositiveF64;
+
+    impl Strategy for PositiveF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            if rng.gen_range(0u32..64) == 0 {
+                return <f64>::INFINITY;
+            }
+            let exponent: f64 = rng.gen_range(-300.0..300.0);
+            let mantissa: f64 = rng.gen_range(1.0..10.0);
+            let x = mantissa * 10f64.powf(exponent);
+            if x > 0.0 && x.is_finite() {
+                x
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::seed_for;
+
+        #[test]
+        fn positive_is_positive_and_sometimes_infinite() {
+            let mut saw_infinite = false;
+            let mut saw_small = false;
+            let mut saw_large = false;
+            for case in 0..2000 {
+                let x = POSITIVE.generate(&mut seed_for("pos", case));
+                assert!(x > 0.0);
+                saw_infinite |= x.is_infinite();
+                saw_small |= x < 1e-50;
+                saw_large |= x.is_finite() && x > 1e50;
+            }
+            assert!(saw_infinite && saw_small && saw_large);
+        }
+    }
+}

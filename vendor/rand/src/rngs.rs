@@ -1,0 +1,148 @@
+//! Concrete generators: the workspace's deterministic [`StdRng`] and the
+//! test-only [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard workspace generator: xoshiro256++.
+///
+/// Not the upstream ChaCha12 — bit streams differ from crates.io `rand` —
+/// but the workspace only requires *internal* determinism: every
+/// experiment derives its streams from explicit seeds and compares runs
+/// against each other, never against foreign implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(word);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+pub mod mock {
+    //! Mock generators for tests that need a fully predictable stream.
+
+    use crate::RngCore;
+
+    /// Returns `initial`, `initial + increment`, `initial + 2·increment`, …
+    /// as a `u64` stream (wrapping), mirroring `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates a stepped stream starting at `initial`.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                value: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = mock::StepRng::new(1, 7);
+        assert_eq!(r.next_u64(), 1);
+        assert_eq!(r.next_u64(), 8);
+        assert_eq!(r.next_u64(), 15);
+    }
+}

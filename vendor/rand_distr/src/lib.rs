@@ -1,0 +1,246 @@
+//! Offline vendored shim for the subset of `rand_distr` this workspace
+//! uses: [`StandardNormal`], [`Normal`], [`LogNormal`], [`Gamma`] and
+//! [`Beta`], all implementing the [`Distribution`] trait re-exported from
+//! the vendored `rand`.
+//!
+//! Algorithms are the textbook exact samplers (Box–Muller for the normal,
+//! Marsaglia–Tsang for the gamma, the two-gamma construction for the
+//! beta), chosen for correctness and determinism rather than speed.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform draw in the open interval `(0, 1)` — safe under `ln`.
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws one standard-normal variate by Box–Muller (the cosine branch;
+/// stateless, so `Distribution::sample` can take `&self`).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// Creates `exp(N(mu, sigma²))`; `sigma` must be finite and ≥ 0.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The gamma distribution with shape `k` and **scale** `θ` (the
+/// `rand_distr` parameterization: mean `k·θ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma<F = f64> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// Creates `Gamma(shape, scale)`; both must be finite and > 0.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !(shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0) {
+            return Err(Error("Gamma requires shape > 0 and scale > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+/// Marsaglia–Tsang (2000) sampler for `Gamma(shape, 1)` with `shape >= 1`.
+fn gamma_shape_ge1<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = unit_open(rng);
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape >= 1.0 {
+            return self.scale * gamma_shape_ge1(self.shape, rng);
+        }
+        // Boost: Gamma(k) = Gamma(k + 1) · U^(1/k) for k < 1.
+        let g = gamma_shape_ge1(self.shape + 1.0, rng);
+        let u = unit_open(rng);
+        self.scale * g * u.powf(1.0 / self.shape)
+    }
+}
+
+/// The beta distribution `Beta(alpha, beta)` on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta<F = f64> {
+    alpha: F,
+    beta: F,
+}
+
+impl Beta<f64> {
+    /// Creates `Beta(alpha, beta)`; both must be finite and > 0.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, Error> {
+        if !(alpha.is_finite() && beta.is_finite() && alpha > 0.0 && beta > 0.0) {
+            return Err(Error("Beta requires alpha > 0 and beta > 0"));
+        }
+        Ok(Beta { alpha, beta })
+    }
+}
+
+impl Distribution<f64> for Beta<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = Gamma::new(self.alpha, 1.0)
+            .expect("valid gamma")
+            .sample(rng);
+        let y = Gamma::new(self.beta, 1.0).expect("valid gamma").sample(rng);
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(3.0, 0.8).unwrap();
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 3.0f64.exp()).abs() < 0.5, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments_match_shape_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Gamma::new(2.5, 1.5).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 2.5 * 1.5).abs() < 0.08, "mean {m}");
+        assert!((v - 2.5 * 1.5 * 1.5).abs() < 0.3, "var {v}");
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Gamma::new(0.4, 2.0).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let (m, _) = moments(&xs);
+        assert!((m - 0.8).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn beta_stays_in_unit_interval_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Beta::new(8.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let (m, _) = moments(&xs);
+        assert!((m - 0.8).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

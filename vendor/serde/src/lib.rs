@@ -1,0 +1,18 @@
+//! Offline vendored shim for the slice of `serde` this workspace touches.
+//!
+//! [`Serialize`] and [`Deserialize`] are marker traits here: the workspace
+//! annotates its data-model types for downstream interoperability but
+//! never drives them through a serde `Serializer` in-tree (JSON artifacts
+//! are built explicitly with the `serde_json` shim's `Value`). The derive
+//! macros re-exported from `serde_derive` expand to nothing, which keeps
+//! `#[derive(Serialize, Deserialize)]` valid on every annotated type.
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace; re-exporting both under one name mirrors real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types annotated as serde-serializable.
+pub trait Serialize {}
+
+/// Marker for types annotated as serde-deserializable.
+pub trait Deserialize {}

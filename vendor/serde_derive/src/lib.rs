@@ -1,0 +1,22 @@
+//! Offline vendored shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data-model types
+//! for downstream interoperability, but nothing in-tree serializes those
+//! types through serde — all JSON artifacts go through the `serde_json`
+//! shim's `Value`/`json!`. The derives therefore expand to nothing: the
+//! attribute is accepted and type definitions stay byte-compatible with
+//! real serde, without pulling in `syn`/`quote` (unreachable offline).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,268 @@
+//! Offline vendored shim for the subset of `serde_json` this workspace
+//! uses: the [`Value`] tree, the [`json!`] constructor macro, and
+//! [`to_string_pretty`]. Conversions go through the [`ToJson`] trait
+//! rather than serde's `Serialize`, because the serde shim is erased.
+//!
+//! Object keys are stored in a `BTreeMap`, so emitted JSON is sorted by
+//! key — a stable, diff-friendly artifact format.
+
+use std::collections::BTreeMap;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also the encoding of non-finite numbers, as in serde_json).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-sorted object.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Serialization error (kept for API parity; the shim never fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`], implemented for every type the workspace
+/// embeds in `json!` literals.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_numbers {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() { Value::Number(x) } else { Value::Null }
+            }
+        }
+    )*};
+}
+
+to_json_numbers!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Converts any [`ToJson`] into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Supports the object,
+/// array, `null`, and bare-expression forms the workspace uses; object
+/// values are arbitrary expressions (including nested `json!` calls).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        let mut object = std::collections::BTreeMap::new();
+        $( object.insert(($key).to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(object)
+    }};
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$element)),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, x: f64) {
+    // Integral values print without a trailing ".0", like serde_json.
+    if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, depth: usize) {
+    const INDENT: &str = "  ";
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => write_number(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth + 1));
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&INDENT.repeat(depth));
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth + 1));
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&INDENT.repeat(depth));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints `value` with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let rows = vec![1.5f64, 2.0];
+        let v = json!({
+            "name": "table1",
+            "count": 2usize,
+            "rows": rows,
+            "flag": true,
+            "nested": json!({ "a": 1.0 }),
+            "pair": [1.0, 2.5],
+            "missing": json!(null),
+        });
+        let Value::Object(map) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(map["name"], Value::String("table1".into()));
+        assert_eq!(map["count"], Value::Number(2.0));
+        assert_eq!(
+            map["rows"],
+            Value::Array(vec![Value::Number(1.5), Value::Number(2.0)])
+        );
+        assert_eq!(map["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_printer_round_trips_shape() {
+        let v = json!({ "b": [1.0], "a": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": \"x\\\"y\",\n  \"b\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(json!(f64::NAN), Value::Null);
+        assert_eq!(json!(f64::INFINITY), Value::Null);
+        assert_eq!(json!(1.25), Value::Number(1.25));
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        let s = to_string_pretty(&json!([3.0, 3.5])).unwrap();
+        assert!(s.contains("3,") && s.contains("3.5"), "{s}");
+    }
+}
