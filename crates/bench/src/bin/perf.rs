@@ -1,0 +1,108 @@
+//! Solver performance tracker: measures µs/iter for the EMD solver family
+//! (transportation simplex, min-cost flow, Sinkhorn, grid pipeline) on
+//! fixed synthetic instances and records the numbers to
+//! `$SD_OUT/BENCH_emd.json`, so the perf trajectory accumulates
+//! PR-over-PR (CI runs this at `SD_SCALE=small` and uploads the artifact).
+//!
+//! Instances are identical to the `emd` criterion bench (shared through
+//! [`sd_bench::synth`]); `SD_SCALE` only modulates how many measured
+//! iterations each point gets, never the instance itself. Construction
+//! (clones, problem building) happens outside the timed region.
+//!
+//! ```text
+//! SD_SCALE=small SD_OUT=out cargo run --release -p sd-bench --bin perf
+//! ```
+
+use sd_bench::synth::{grid_cloud, transport_instance};
+use sd_bench::{HarnessConfig, Scale};
+use sd_emd::{sinkhorn, GridEmd, MinCostFlow, SinkhornParams, TransportProblem};
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured point: `µs/iter` over `iters` timed runs (after 1 warm-up),
+/// with per-iteration input construction excluded from the clock.
+fn measure<I, S: FnMut() -> I, R: FnMut(I) -> f64>(
+    iters: usize,
+    mut setup: S,
+    mut routine: R,
+) -> f64 {
+    black_box(routine(setup()));
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        total += start.elapsed().as_secs_f64();
+    }
+    total / iters as f64 * 1e6
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let iters = match harness.scale {
+        Scale::Small => 5,
+        Scale::Harness => 20,
+        Scale::Paper => 50,
+    };
+    let mut results: Vec<Value> = Vec::new();
+    let mut record = |bench: &str, size: usize, us: f64| {
+        println!("perf: {bench:<10} n={size:<6} {us:>12.3} µs/iter");
+        results.push(json!({ "bench": bench, "size": size, "us_per_iter": us }));
+    };
+
+    for size in [16usize, 64, 128] {
+        let (s, d, cost) = transport_instance(size, size, 11);
+        let us = measure(
+            iters,
+            || (s.clone(), d.clone(), cost.clone()),
+            |(s, d, c)| TransportProblem::new(s, d, c).unwrap().solve().unwrap(),
+        );
+        record("simplex", size, us);
+        let us = measure(
+            iters,
+            || (s.clone(), d.clone(), cost.clone()),
+            |(s, d, c)| MinCostFlow::new(s, d, c).unwrap().solve().unwrap(),
+        );
+        record("flow", size, us);
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                sinkhorn(
+                    black_box(&s),
+                    black_box(&d),
+                    black_box(&cost),
+                    SinkhornParams {
+                        regularization: 0.1,
+                        max_iterations: 50_000,
+                        tolerance: 1e-6,
+                    },
+                )
+                .unwrap()
+            },
+        );
+        record("sinkhorn", size, us);
+    }
+
+    for points in [1_000usize, 10_000] {
+        let a = grid_cloud(points, 13, 0.0);
+        let b = grid_cloud(points, 14, 10.0);
+        let us = measure(
+            iters,
+            || (),
+            |()| GridEmd::new(6).distance(&a, &b).unwrap().emd,
+        );
+        record("grid", points, us);
+    }
+
+    harness.write_json(
+        "BENCH_emd.json",
+        &json!({
+            "scale": harness.scale.label(),
+            "seed": harness.seed,
+            "iters_per_point": iters,
+            "benches": Value::Array(results),
+        }),
+    );
+}

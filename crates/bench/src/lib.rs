@@ -131,6 +131,46 @@ impl HarnessConfig {
     }
 }
 
+/// Deterministic synthetic inputs shared by the criterion benches and the
+/// `perf` bin, so both measure the same instances and their numbers stay
+/// comparable PR-over-PR.
+pub mod synth {
+    /// Deterministic pseudo-random stream (an LCG; no external RNG so the
+    /// benches stay independent of the vendored `rand` shim's bit stream).
+    pub fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        }
+    }
+
+    /// A random balanced `n × m` transportation instance: unit-mass
+    /// supply/demand vectors and costs in `[0, 10)`.
+    pub fn transport_instance(n: usize, m: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut next = lcg(seed);
+        let mut supply: Vec<f64> = (0..n).map(|_| 0.05 + next()).collect();
+        let mut demand: Vec<f64> = (0..m).map(|_| 0.05 + next()).collect();
+        let st: f64 = supply.iter().sum();
+        let dt: f64 = demand.iter().sum();
+        supply.iter_mut().for_each(|x| *x /= st);
+        demand.iter_mut().for_each(|x| *x /= dt);
+        let cost: Vec<f64> = (0..n * m).map(|_| next() * 10.0).collect();
+        (supply, demand, cost)
+    }
+
+    /// A random 3-attribute point cloud for the grid pipeline, shifted by
+    /// `offset` on the first axis.
+    pub fn grid_cloud(points: usize, seed: u64, offset: f64) -> Vec<Vec<f64>> {
+        let mut next = lcg(seed);
+        (0..points)
+            .map(|_| vec![next() * 100.0 + offset, next() * 10.0, next()])
+            .collect()
+    }
+}
+
 /// Mean and sample standard deviation of a slice (0 std for n < 2).
 pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {

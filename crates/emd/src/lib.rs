@@ -33,6 +33,7 @@
 // of this crate.
 #![allow(clippy::needless_range_loop)]
 
+mod basis_tree;
 mod emd1d;
 mod error;
 mod flow;

@@ -1,14 +1,22 @@
+use crate::basis_tree::BasisTree;
 use crate::{EmdError, Result};
 
 /// The balanced transportation problem, solved exactly with the
-/// transportation simplex (north-west-corner initial basis + MODI / u-v
-/// pivoting).
+/// transportation simplex (north-west-corner initial basis + tree-based
+/// MODI / u-v pivoting).
 ///
 /// This is the workhorse behind the paper's statistical-distortion metric:
 /// given bin masses of the dirty distribution (supplies), bin masses of the
 /// cleaned distribution (demands) and cross-bin ground distances (costs),
 /// the optimal flow `F*` yields
 /// `EMD(P, Q) = Σ f*_ij |b_i − b_j| / Σ f*_ij`.
+///
+/// The basis is kept as a persistent spanning tree
+/// ([`BasisTree`](crate::basis_tree::BasisTree)): duals update
+/// incrementally on the subtree cut by each leaving arc, entering cells are
+/// found with block pricing, and pivots reuse flat scratch buffers, so a
+/// pivot costs O(cycle + cut subtree) instead of the O(n·m) per-pivot
+/// rebuild of the textbook tableau method.
 #[derive(Debug, Clone)]
 pub struct TransportProblem {
     n: usize,
@@ -24,6 +32,9 @@ pub struct TransportProblem {
 const BALANCE_TOL: f64 = 1e-6;
 /// A reduced cost must be more negative than `-tol` to trigger a pivot.
 const PIVOT_TOL: f64 = 1e-12;
+/// Incremental duals are re-derived from scratch every this many pivots to
+/// clear accumulated floating-point drift.
+const RECOMPUTE_EVERY: usize = 1024;
 
 impl TransportProblem {
     /// Creates a balanced transportation problem.
@@ -88,7 +99,11 @@ impl TransportProblem {
         self.m
     }
 
-    /// The optimal flow matrix (row-major `n × m`); zeros before `solve`.
+    /// The flow matrix (row-major `n × m`).
+    ///
+    /// Before [`solve`](Self::solve) has run this is all zeros — it is the
+    /// *optimal* flow only once [`is_solved`](Self::is_solved) returns
+    /// `true`.
     pub fn flow(&self) -> &[f64] {
         &self.flow
     }
@@ -99,6 +114,10 @@ impl TransportProblem {
     }
 
     /// Objective value `Σ f_ij c_ij` of the current flow.
+    ///
+    /// Before [`solve`](Self::solve) has run the flow is all zeros, so this
+    /// returns `0.0`; it is the *optimal* transport cost only once
+    /// [`is_solved`](Self::is_solved) returns `true`.
     pub fn objective(&self) -> f64 {
         self.flow.iter().zip(&self.cost).map(|(f, c)| f * c).sum()
     }
@@ -106,11 +125,17 @@ impl TransportProblem {
     /// Solves the problem and returns the normalized EMD
     /// (`objective / total mass`).
     pub fn solve(&mut self) -> Result<f64> {
-        let (mut basis, in_basis) = self.northwest_corner();
-        let mut in_basis = in_basis;
+        self.solved = false;
+        self.flow.fill(0.0);
+        let basis_cells = self.northwest_corner();
+        let mut tree = BasisTree::build(self.n, self.m, &basis_cells, &self.cost)
+            .ok_or(EmdError::NoConvergence { iterations: 0 })?;
 
-        // Pivot until no negative reduced cost remains.
-        let max_iters = 2000 + 200 * (self.n + self.m);
+        let cells = self.n * self.m;
+        // Block pricing: candidate blocks of ~√(n·m) cells keep each
+        // pricing step cheap while still finding a "good" entering cell.
+        let block = 64.max((cells as f64).sqrt() as usize);
+        let max_pivots = 2000 + 20 * cells;
         let cost_scale = self
             .cost
             .iter()
@@ -118,32 +143,28 @@ impl TransportProblem {
             .max(1.0);
         let tol = PIVOT_TOL * cost_scale + PIVOT_TOL;
 
-        for _ in 0..max_iters {
-            let (u, v) = self.compute_duals(&basis)?;
-            // Entering cell: most negative reduced cost.
-            let mut best = (-tol, usize::MAX, usize::MAX);
-            for i in 0..self.n {
-                let ui = u[i];
-                let row = i * self.m;
-                for j in 0..self.m {
-                    if in_basis[row + j] {
-                        continue;
-                    }
-                    let rc = self.cost[row + j] - ui - v[j];
-                    if rc < best.0 {
-                        best = (rc, i, j);
-                    }
+        let mut cursor = 0usize;
+        for pivots in 0..max_pivots {
+            let entering = match tree.find_entering(&self.cost, tol, &mut cursor, block) {
+                Some(cell) => Some(cell),
+                None => {
+                    // Confirm optimality against drift-free duals before
+                    // declaring victory.
+                    tree.recompute_potentials(&self.cost);
+                    tree.find_entering(&self.cost, tol, &mut cursor, block)
                 }
-            }
-            if best.1 == usize::MAX {
+            };
+            let Some(cell) = entering else {
                 self.solved = true;
                 return Ok(self.objective() / self.total_mass());
+            };
+            tree.pivot(cell / self.m, cell % self.m, &self.cost, &mut self.flow);
+            if (pivots + 1) % RECOMPUTE_EVERY == 0 {
+                tree.recompute_potentials(&self.cost);
             }
-            let (ei, ej) = (best.1, best.2);
-            self.pivot(ei, ej, &mut basis, &mut in_basis)?;
         }
         Err(EmdError::NoConvergence {
-            iterations: max_iters,
+            iterations: max_pivots,
         })
     }
 
@@ -153,21 +174,30 @@ impl TransportProblem {
     }
 
     /// North-west-corner initial basic feasible solution with exactly
-    /// `n + m − 1` basic cells (degenerate zero-flow cells included).
-    fn northwest_corner(&mut self) -> (Vec<(usize, usize)>, Vec<bool>) {
+    /// `n + m − 1` basic cells (degenerate zero-flow cells included),
+    /// written into `self.flow`. Returns the basic cell ids.
+    ///
+    /// Any floating-point residue left after the staircase walk (supplies
+    /// and demands only balance up to rounding) is clamped into the final
+    /// basic cell so the initial flow meets the row/column marginals to
+    /// machine precision.
+    fn northwest_corner(&mut self) -> Vec<u32> {
         let mut s = self.supply.clone();
         let mut d = self.demand.clone();
         let mut basis = Vec::with_capacity(self.n + self.m - 1);
-        let mut in_basis = vec![false; self.n * self.m];
         let (mut i, mut j) = (0usize, 0usize);
         loop {
-            let q = s[i].min(d[j]);
+            let q = s[i].min(d[j]).max(0.0);
             self.flow[i * self.m + j] = q;
-            basis.push((i, j));
-            in_basis[i * self.m + j] = true;
+            basis.push((i * self.m + j) as u32);
             s[i] -= q;
             d[j] -= q;
             if basis.len() == self.n + self.m - 1 {
+                // Clamp rounding residue into the final basic cell.
+                let residue = s[i].max(d[j]);
+                if residue > 0.0 {
+                    self.flow[i * self.m + j] += residue;
+                }
                 break;
             }
             // Advance along the exhausted side; on ties prefer the row so a
@@ -178,129 +208,7 @@ impl TransportProblem {
                 j += 1;
             }
         }
-        (basis, in_basis)
-    }
-
-    /// Solves `u_i + v_j = c_ij` over the basis tree (with `u_0 = 0`).
-    fn compute_duals(&self, basis: &[(usize, usize)]) -> Result<(Vec<f64>, Vec<f64>)> {
-        let n = self.n;
-        let m = self.m;
-        // Node ids: rows 0..n, cols n..n+m.
-        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n + m];
-        for (idx, &(i, j)) in basis.iter().enumerate() {
-            adj[i].push((n + j, idx));
-            adj[n + j].push((i, idx));
-        }
-        let mut u = vec![f64::NAN; n];
-        let mut v = vec![f64::NAN; m];
-        u[0] = 0.0;
-        let mut stack = vec![0usize];
-        let mut visited = vec![false; n + m];
-        visited[0] = true;
-        while let Some(node) = stack.pop() {
-            for &(next, bidx) in &adj[node] {
-                if visited[next] {
-                    continue;
-                }
-                visited[next] = true;
-                let (i, j) = basis[bidx];
-                if next >= n {
-                    // next is a column: v_j = c_ij − u_i.
-                    v[next - n] = self.cost[i * m + j] - u[i];
-                } else {
-                    // next is a row: u_i = c_ij − v_j.
-                    u[next] = self.cost[i * m + j] - v[j];
-                }
-                stack.push(next);
-            }
-        }
-        if visited.iter().any(|&x| !x) {
-            // The basis failed to span all nodes — indicates a logic error
-            // upstream rather than bad input.
-            return Err(EmdError::NoConvergence { iterations: 0 });
-        }
-        Ok((u, v))
-    }
-
-    /// One simplex pivot: brings `(ei, ej)` into the basis, pushes θ around
-    /// the unique tree cycle, and drops a leaving cell.
-    fn pivot(
-        &mut self,
-        ei: usize,
-        ej: usize,
-        basis: &mut [(usize, usize)],
-        in_basis: &mut [bool],
-    ) -> Result<()> {
-        let n = self.n;
-        let m = self.m;
-        // Find the tree path from row `ei` to column `ej`.
-        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n + m];
-        for (idx, &(i, j)) in basis.iter().enumerate() {
-            adj[i].push((n + j, idx));
-            adj[n + j].push((i, idx));
-        }
-        let target = n + ej;
-        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n + m]; // (prev node, basis idx)
-        let mut visited = vec![false; n + m];
-        visited[ei] = true;
-        let mut queue = std::collections::VecDeque::from([ei]);
-        while let Some(node) = queue.pop_front() {
-            if node == target {
-                break;
-            }
-            for &(next, bidx) in &adj[node] {
-                if !visited[next] {
-                    visited[next] = true;
-                    parent[next] = Some((node, bidx));
-                    queue.push_back(next);
-                }
-            }
-        }
-        if !visited[target] {
-            return Err(EmdError::NoConvergence { iterations: 0 });
-        }
-        // Reconstruct the path of basis-cell indices from `target` back to `ei`.
-        let mut path = Vec::new();
-        let mut node = target;
-        while node != ei {
-            let (prev, bidx) = parent[node].expect("path reconstruction broke");
-            path.push(bidx);
-            node = prev;
-        }
-        // Walking the cycle starting at the entering cell (+), the basis
-        // cells adjacent to column `ej` first: signs alternate −, +, −, …
-        // `path[0]` is incident to `ej`, so even positions in `path` are −.
-        let mut theta = f64::INFINITY;
-        let mut leaving: Option<usize> = None;
-        for (pos, &bidx) in path.iter().enumerate() {
-            if pos % 2 == 0 {
-                let (i, j) = basis[bidx];
-                let f = self.flow[i * m + j];
-                if f < theta {
-                    theta = f;
-                    leaving = Some(bidx);
-                }
-            }
-        }
-        let leaving = leaving.ok_or(EmdError::NoConvergence { iterations: 0 })?;
-
-        // Apply θ around the cycle.
-        self.flow[ei * m + ej] += theta;
-        for (pos, &bidx) in path.iter().enumerate() {
-            let (i, j) = basis[bidx];
-            if pos % 2 == 0 {
-                self.flow[i * m + j] -= theta;
-            } else {
-                self.flow[i * m + j] += theta;
-            }
-        }
-        // Swap leaving for entering.
-        let (li, lj) = basis[leaving];
-        self.flow[li * m + lj] = 0.0; // clamp rounding residue
-        in_basis[li * m + lj] = false;
-        basis[leaving] = (ei, ej);
-        in_basis[ei * m + ej] = true;
-        Ok(())
+        basis
     }
 }
 
@@ -323,8 +231,6 @@ mod tests {
 
     #[test]
     fn textbook_balanced_problem() {
-        // Classic 3x3 instance; optimal objective 1390 over total mass 55
-        // (supplies 20/25/10... use a verified small instance instead).
         // Supplies [2, 3], demands [2, 3], costs chosen so the optimum is
         // the diagonal assignment.
         let d = solve(vec![2.0, 3.0], vec![2.0, 3.0], vec![0.0, 10.0, 10.0, 0.0]);
@@ -368,6 +274,30 @@ mod tests {
     }
 
     #[test]
+    fn highly_degenerate_instance_terminates() {
+        // Uniform marginals with permutation-structured costs: every NW
+        // staircase tie produces a zero-flow basic cell, so most pivots
+        // are degenerate (θ = 0). The Bland-style leaving tie-break
+        // (ties → largest cell id) must still terminate at the optimum
+        // instead of cycling through zero-flow bases.
+        let k = 8usize;
+        let uniform = vec![1.0 / k as f64; k];
+        let mut cost = vec![1.0; k * k];
+        for i in 0..k {
+            // Optimal assignment: each supply i ships to column (i+3) % k.
+            cost[i * k + (i + 3) % k] = 0.0;
+        }
+        let mut p = TransportProblem::new(uniform.clone(), uniform, cost).unwrap();
+        let d = p.solve().unwrap();
+        assert!(d.abs() < 1e-12, "expected free optimum, got {d}");
+        // Marginals must survive the degenerate pivot sequence.
+        for i in 0..k {
+            let row: f64 = p.flow()[i * k..(i + 1) * k].iter().sum();
+            assert!((row - 1.0 / k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn zero_weight_bins_are_tolerated() {
         let d = solve(vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 5.0, 2.0, 5.0]);
         assert!((d - 2.0).abs() < 1e-12);
@@ -401,6 +331,25 @@ mod tests {
     }
 
     #[test]
+    fn flow_and_objective_are_zero_before_solve() {
+        let p = TransportProblem::new(vec![0.5, 0.5], vec![0.5, 0.5], vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        assert!(!p.is_solved());
+        assert_eq!(p.objective(), 0.0);
+        assert!(p.flow().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn solve_is_repeatable() {
+        // A second solve() must not be polluted by the first one's flow.
+        let mut p = TransportProblem::new(vec![0.3, 0.7], vec![0.5, 0.5], vec![1.0, 2.0, 3.0, 0.5])
+            .unwrap();
+        let first = p.solve().unwrap();
+        let second = p.solve().unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn flow_conserves_mass() {
         let mut p = TransportProblem::new(vec![0.3, 0.7], vec![0.5, 0.5], vec![1.0, 2.0, 3.0, 0.5])
             .unwrap();
@@ -412,5 +361,39 @@ mod tests {
         assert!((flow[0] + flow[2] - 0.5).abs() < 1e-12);
         assert!((flow[1] + flow[3] - 0.5).abs() < 1e-12);
         assert!(p.is_solved());
+    }
+
+    #[test]
+    fn matches_min_cost_flow_on_random_corpus() {
+        // Cross-validate the tree-based simplex against the structurally
+        // independent successive-shortest-paths solver on a corpus of
+        // random balanced instances, including rectangular shapes.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..12 {
+            let n = 3 + (trial * 5) % 28;
+            let m = 2 + (trial * 7) % 31;
+            let mut supply: Vec<f64> = (0..n).map(|_| 0.01 + next()).collect();
+            let mut demand: Vec<f64> = (0..m).map(|_| 0.01 + next()).collect();
+            let st: f64 = supply.iter().sum();
+            let dt: f64 = demand.iter().sum();
+            supply.iter_mut().for_each(|x| *x /= st);
+            demand.iter_mut().for_each(|x| *x /= dt);
+            let cost: Vec<f64> = (0..n * m).map(|_| next() * 10.0).collect();
+            let via_simplex = solve(supply.clone(), demand.clone(), cost.clone());
+            let via_flow = crate::MinCostFlow::new(supply, demand, cost)
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (via_simplex - via_flow).abs() < 1e-9,
+                "trial {trial} ({n}x{m}): simplex {via_simplex} vs flow {via_flow}"
+            );
+        }
     }
 }

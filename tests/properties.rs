@@ -74,6 +74,39 @@ proptest! {
     }
 
     #[test]
+    fn simplex_flow_meets_marginals(
+        supply in prop::collection::vec(0.001f64..1.0, 1..24),
+        demand in prop::collection::vec(0.001f64..1.0, 1..24),
+        seed in 0u64..1000,
+    ) {
+        // The solved flow of a random balanced instance must satisfy the
+        // row/column marginals to 1e-9 — floating-point residue from the
+        // north-west-corner walk may not strand mass.
+        let st: f64 = supply.iter().sum();
+        let dt: f64 = demand.iter().sum();
+        let supply: Vec<f64> = supply.iter().map(|x| x / st).collect();
+        let demand: Vec<f64> = demand.iter().map(|x| x / dt).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut cost = Vec::with_capacity(supply.len() * demand.len());
+        for _ in 0..supply.len() * demand.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cost.push(((state >> 33) as f64) / (u32::MAX as f64) * 5.0);
+        }
+        let (n, m) = (supply.len(), demand.len());
+        let mut problem = TransportProblem::new(supply.clone(), demand.clone(), cost).unwrap();
+        problem.solve().unwrap();
+        let flow = problem.flow();
+        for i in 0..n {
+            let row: f64 = flow[i * m..(i + 1) * m].iter().sum();
+            prop_assert!((row - supply[i]).abs() < 1e-9, "row {i}: {row} vs {}", supply[i]);
+        }
+        for j in 0..m {
+            let col: f64 = (0..n).map(|i| flow[i * m + j]).sum();
+            prop_assert!((col - demand[j]).abs() < 1e-9, "col {j}: {col} vs {}", demand[j]);
+        }
+    }
+
+    #[test]
     fn simplex_matches_1d_closed_form(
         a in prop::collection::vec((-20.0f64..20.0, 0.01f64..5.0), 1..10),
         b in prop::collection::vec((-20.0f64..20.0, 0.01f64..5.0), 1..10),

@@ -43,6 +43,19 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The shim runs every variant as one setup per measured iteration; the
+/// distinction only matters for real Criterion's memory management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; large batches.
+    SmallInput,
+    /// Inputs are expensive to hold; small batches.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// Drives one benchmark's measurement loop.
 pub struct Bencher {
     iters: u64,
@@ -61,6 +74,27 @@ impl Bencher {
             black_box(routine());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding the setup
+    /// cost (allocations, clones) from the measured region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up (not measured).
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
     }
 }
 
@@ -183,6 +217,29 @@ mod tests {
         let mut runs = 0u64;
         c.bench_function("counter", |b| b.iter(|| runs += 1));
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_from_timing() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(runs > 0);
+        // One setup per run (warm-up included).
+        assert_eq!(setups, runs);
     }
 
     #[test]
