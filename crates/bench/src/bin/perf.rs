@@ -1,21 +1,34 @@
-//! Solver performance tracker: measures µs/iter for the EMD solver family
-//! (transportation simplex, min-cost flow, Sinkhorn, grid pipeline) on
-//! fixed synthetic instances and records the numbers to
-//! `$SD_OUT/BENCH_emd.json`, so the perf trajectory accumulates
+//! Performance tracker: measures µs/iter for the EMD solver family
+//! (transportation simplex, min-cost flow, Sinkhorn, grid pipeline), the
+//! glitch-detection and cleaning-strategy hot paths, and one end-to-end
+//! `(replication × strategy)` unit of the experiment engine, recording the
+//! numbers to `$SD_OUT/BENCH_emd.json` so the perf trajectory accumulates
 //! PR-over-PR (CI runs this at `SD_SCALE=small` and uploads the artifact).
 //!
-//! Instances are identical to the `emd` criterion bench (shared through
-//! [`sd_bench::synth`]); `SD_SCALE` only modulates how many measured
-//! iterations each point gets, never the instance itself. Construction
-//! (clones, problem building) happens outside the timed region.
+//! Solver instances are identical to the `emd` criterion bench (shared
+//! through [`sd_bench::synth`]); the grid row uses
+//! [`sd_bench::synth::grid_cloud_pair`], whose single-stream seeding is
+//! pinned so grid deltas stay like-for-like PR-over-PR. `SD_SCALE` only
+//! modulates how many measured iterations each point gets, never the
+//! instance itself. Construction (clones, problem building) happens outside
+//! the timed region.
+//!
+//! The `replication` row is the engine's unit of work: the wall time of a
+//! full batch run at `sample_size = 100`, five paper strategies, divided by
+//! `R × S`. It includes per-replication artifact construction, strategy
+//! application, re-detection, and EMD distortion — the quantity the staged
+//! engine optimises.
 //!
 //! ```text
 //! SD_SCALE=small SD_OUT=out cargo run --release -p sd-bench --bin perf
 //! ```
 
-use sd_bench::synth::{grid_cloud, transport_instance};
+use sd_bench::synth::{grid_cloud_pair, transport_instance};
 use sd_bench::{HarnessConfig, Scale};
+use sd_cleaning::paper_strategy;
+use sd_core::{Experiment, ExperimentConfig};
 use sd_emd::{sinkhorn, GridEmd, MinCostFlow, SinkhornParams, TransportProblem};
+use sd_netsim::{generate, NetsimConfig};
 use serde_json::{json, Value};
 use std::hint::black_box;
 use std::time::Instant;
@@ -47,7 +60,7 @@ fn main() {
     };
     let mut results: Vec<Value> = Vec::new();
     let mut record = |bench: &str, size: usize, us: f64| {
-        println!("perf: {bench:<10} n={size:<6} {us:>12.3} µs/iter");
+        println!("perf: {bench:<12} n={size:<6} {us:>12.3} µs/iter");
         results.push(json!({ "bench": bench, "size": size, "us_per_iter": us }));
     };
 
@@ -86,14 +99,103 @@ fn main() {
     }
 
     for points in [1_000usize, 10_000] {
-        let a = grid_cloud(points, 13, 0.0);
-        let b = grid_cloud(points, 14, 10.0);
+        // Pinned single-stream pair (see `grid_cloud_pair`): re-baselined in
+        // PR 3 after the PR-2 grid row briefly used independent seeds.
+        let (a, b) = grid_cloud_pair(points, 13, 10.0);
         let us = measure(
             iters,
             || (),
             |()| GridEmd::new(6).distance(&a, &b).unwrap().emd,
         );
         record("grid", points, us);
+    }
+
+    // Experiment hot paths: glitch detection, cleaning strategies, and the
+    // end-to-end (replication × strategy) engine unit, on the fixed small
+    // telemetry instance at the paper's B = 100 sample size.
+    let data = generate(&NetsimConfig::small(42)).dataset;
+    let mut config = ExperimentConfig::paper_default(100, 42);
+    config.threads = 1; // per-unit cost, undiluted by parallelism
+    let experiment = Experiment::new(config.clone());
+    let prepared = experiment.prepare(&data).expect("prepare succeeds");
+    let artifacts = prepared.replication(0);
+
+    let us = measure(
+        iters,
+        || (),
+        |()| {
+            let matrices = artifacts
+                .detector
+                .detect_dataset(black_box(&artifacts.dirty));
+            matrices.len() as f64
+        },
+    );
+    record("detect", artifacts.dirty.num_series(), us);
+
+    for k in [1u32, 5] {
+        let strategy = paper_strategy(k);
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let (cleaned, outcome) = artifacts.apply(black_box(&strategy), config.seed, 0);
+                cleaned.num_series() as f64 + outcome.cells_changed() as f64
+            },
+        );
+        record(&format!("clean_s{k}"), artifacts.dirty.num_series(), us);
+    }
+
+    {
+        let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+        let reps = match harness.scale {
+            Scale::Small => 3,
+            Scale::Harness => 10,
+            Scale::Paper => 25,
+        };
+        let mut run_config = config.clone();
+        run_config.replications = reps;
+        let runner = Experiment::new(run_config);
+        let units = (reps * strategies.len()) as f64;
+        // Both replication rows time only the unit work: `prepare()` (pool
+        // partitioning, sampler setup) is hoisted out of the clock so the
+        // engine and reference rows stay like-for-like.
+        let prepared = runner.prepare(&data).expect("prepare succeeds");
+        let executor = sd_core::ThreadPoolExecutor::new(1);
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let result = prepared
+                    .run_with(black_box(&strategies), &executor)
+                    .unwrap();
+                result.outcomes().len() as f64
+            },
+        ) / units;
+        record("replication", config.sample_size, us);
+
+        // The historical replication-granular path (kept in-tree as the
+        // engine's bit-identity reference): same units, no artifact
+        // sharing, full-clone cleaning, uncached distortion. Recording it
+        // alongside keeps the engine speedup measurable in one run.
+        let ref_prepared = &prepared;
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let mut score = 0.0;
+                for i in 0..reps {
+                    let artifacts = ref_prepared.replication(i);
+                    for (si, s) in strategies.iter().enumerate() {
+                        score += ref_prepared
+                            .evaluate(black_box(&artifacts), s, si)
+                            .unwrap()
+                            .distortion;
+                    }
+                }
+                score
+            },
+        ) / units;
+        record("replication_ref", config.sample_size, us);
     }
 
     harness.write_json(

@@ -169,6 +169,29 @@ pub mod synth {
             .map(|_| vec![next() * 100.0 + offset, next() * 10.0, next()])
             .collect()
     }
+
+    /// The canonical grid-pipeline instance: both clouds drawn from **one**
+    /// LCG stream seeded with `seed` (the second cloud continues where the
+    /// first stopped, then shifts by `offset` on the first axis).
+    ///
+    /// Pinned so the `grid` perf row is like-for-like PR-over-PR: PR 1
+    /// continued the stream while PR 2 briefly drew the second cloud from
+    /// an independent seed, which made the PR1→PR2 grid delta noise.
+    pub fn grid_cloud_pair(
+        points: usize,
+        seed: u64,
+        offset: f64,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut next = lcg(seed);
+        let mut cloud = |shift: f64| -> Vec<Vec<f64>> {
+            (0..points)
+                .map(|_| vec![next() * 100.0 + shift, next() * 10.0, next()])
+                .collect()
+        };
+        let a = cloud(0.0);
+        let b = cloud(offset);
+        (a, b)
+    }
 }
 
 /// Mean and sample standard deviation of a slice (0 std for n < 2).

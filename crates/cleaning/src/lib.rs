@@ -36,7 +36,7 @@ pub use mi::{MvnImputer, MvnModel};
 pub use partial::PartialCleaner;
 pub use strategy::{
     paper_strategy, CleaningOutcome, CleaningStrategy, CompositeStrategy, MissingTreatment,
-    OutlierTreatment,
+    ModelFit, OutlierTreatment,
 };
 pub use winsorize::Winsorizer;
 

@@ -1,7 +1,6 @@
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 use sd_linalg::{pairwise_covariance_matrix, CholeskyFactor, Matrix};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from model-based imputation.
@@ -44,9 +43,10 @@ impl std::error::Error for MiError {}
 pub struct MvnModel {
     mean: Vec<f64>,
     cov: Matrix,
-    /// Per-missing-pattern conditional solvers, keyed by a bitmask with
-    /// bit `a` set when attribute `a` is missing.
-    patterns: HashMap<u32, PatternSolver>,
+    /// Per-missing-pattern conditional solvers, indexed by the bitmask
+    /// with bit `a` set when attribute `a` is missing (all `2^v` patterns
+    /// are precomputed, so lookup is a direct index).
+    patterns: Vec<PatternSolver>,
 }
 
 /// Precomputed conditional-Gaussian pieces for one missing pattern.
@@ -85,16 +85,42 @@ impl MvnModel {
         let (mut cov, mut mean) =
             pairwise_covariance_matrix(rows).map_err(|e| MiError::Numerical(e.to_string()))?;
 
+        // One contiguous copy of the rows: the E-step sweeps all rows once
+        // per iteration, and chasing per-row heap pointers dominates the
+        // sweep on large samples. Same values, same order.
+        let mut flat = Vec::with_capacity(rows.len() * v);
+        for row in rows {
+            flat.extend_from_slice(row);
+        }
+
         let n = rows.len() as f64;
         for _ in 0..max_iter {
             let solvers = build_solvers(&mean, &cov)?;
+            // The conditional covariance `L Lᵀ` of each pattern is constant
+            // within an iteration — hoist it out of the row loop (the same
+            // value is added per matching row, so the accumulated bits are
+            // unchanged).
+            let mut cond_covs: Vec<Option<Matrix>> = Vec::with_capacity(solvers.len());
+            for solver in &solvers {
+                cond_covs.push(if solver.missing.is_empty() {
+                    None
+                } else {
+                    Some(
+                        solver
+                            .cond_chol
+                            .l()
+                            .mat_mul(&solver.cond_chol.l().transpose())
+                            .map_err(|e| MiError::Numerical(e.to_string()))?,
+                    )
+                });
+            }
             // E-step: accumulate E[x] and E[x xᵀ].
             let mut s1 = vec![0.0; v];
             let mut s2 = Matrix::zeros(v, v);
             let mut xhat = vec![0.0; v];
-            for row in rows {
-                let pattern = pattern_of(row);
-                let solver = &solvers[&pattern];
+            for row in flat.chunks_exact(v) {
+                let pattern = pattern_of(row) as usize;
+                let solver = &solvers[pattern];
                 conditional_mean(&mean, solver, row, &mut xhat);
                 for i in 0..v {
                     s1[i] += xhat[i];
@@ -103,12 +129,7 @@ impl MvnModel {
                     }
                 }
                 // Add conditional covariance on the missing block.
-                if !solver.missing.is_empty() {
-                    let cc = solver
-                        .cond_chol
-                        .l()
-                        .mat_mul(&solver.cond_chol.l().transpose())
-                        .map_err(|e| MiError::Numerical(e.to_string()))?;
+                if let Some(cc) = &cond_covs[pattern] {
                     for (mi, &gi) in solver.missing.iter().enumerate() {
                         for (mj, &gj) in solver.missing.iter().enumerate() {
                             if gj >= gi {
@@ -220,7 +241,7 @@ impl MvnImputer {
         if pattern == full_mask && !self.impute_fully_missing {
             return 0;
         }
-        let solver = &self.model.patterns[&pattern];
+        let solver = &self.model.patterns[pattern as usize];
         let mut cond = vec![0.0; self.model.dim()];
         conditional_mean(&self.model.mean, solver, record, &mut cond);
         // Draw z ~ N(0, I), correlate with the conditional Cholesky.
@@ -251,11 +272,11 @@ fn pattern_of(record: &[f64]) -> u32 {
 
 /// Builds conditional solvers for every possible missing pattern of a
 /// `v`-dimensional model (there are `2^v`; `v ≤ 20` guards the blow-up,
-/// and the paper's data has `v = 3`).
-fn build_solvers(mean: &[f64], cov: &Matrix) -> Result<HashMap<u32, PatternSolver>, MiError> {
+/// and the paper's data has `v = 3`), indexed by pattern bitmask.
+fn build_solvers(mean: &[f64], cov: &Matrix) -> Result<Vec<PatternSolver>, MiError> {
     let v = mean.len();
     assert!(v <= 20, "pattern enumeration requires small dimensionality");
-    let mut map = HashMap::with_capacity(1 << v);
+    let mut map = Vec::with_capacity(1 << v);
     for pattern in 0u32..(1 << v) {
         let missing: Vec<usize> = (0..v).filter(|a| pattern & (1 << a) != 0).collect();
         let observed: Vec<usize> = (0..v).filter(|a| pattern & (1 << a) == 0).collect();
@@ -319,7 +340,7 @@ fn build_solvers(mean: &[f64], cov: &Matrix) -> Result<HashMap<u32, PatternSolve
                 cond_chol,
             }
         };
-        map.insert(pattern, solver);
+        map.push(solver);
     }
     Ok(map)
 }
@@ -334,14 +355,14 @@ fn conditional_mean(mean: &[f64], solver: &PatternSolver, record: &[f64], out: &
     if solver.missing.is_empty() || solver.observed.is_empty() {
         return;
     }
-    let dev: Vec<f64> = solver
-        .observed
-        .iter()
-        .map(|&o| record[o] - mean[o])
-        .collect();
-    let adjust = solver.gain.mat_vec(&dev);
+    // Alloc-free `μ_M + K (x_O − μ_O)`: accumulates in the same
+    // left-to-right order as `Matrix::mat_vec`, so the bits are unchanged.
     for (mi, &attr) in solver.missing.iter().enumerate() {
-        out[attr] = mean[attr] + adjust[mi];
+        let mut adjust = 0.0;
+        for (oi, &o) in solver.observed.iter().enumerate() {
+            adjust += solver.gain[(mi, oi)] * (record[o] - mean[o]);
+        }
+        out[attr] = mean[attr] + adjust;
     }
 }
 

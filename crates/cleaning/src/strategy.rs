@@ -1,6 +1,6 @@
 use crate::{CleaningContext, MeanImputer, MvnImputer, Winsorizer};
 use rand::RngCore;
-use sd_data::Dataset;
+use sd_data::{CleanedView, Dataset, DatasetPatch, TimeSeries};
 use sd_glitch::{GlitchMatrix, GlitchType};
 
 /// How a strategy treats missing and inconsistent values.
@@ -80,6 +80,161 @@ pub struct CompositeStrategy {
     outliers: OutlierTreatment,
 }
 
+/// The strategy-invariant part of model-based imputation: the MVN imputer
+/// fitted on the (masked) dirty data with treated cells hidden.
+///
+/// Fitting is deterministic (EM, no RNG) and depends only on the dirty
+/// sample, its glitch annotations, and the mask — not on which composite
+/// strategy later consumes it. The experiment engine therefore fits once
+/// per replication and shares the result across every model-imputing
+/// strategy unit, which is bit-identical to refitting per strategy.
+#[derive(Debug, Clone)]
+pub struct ModelFit {
+    imputer: Option<MvnImputer>,
+    failed: bool,
+}
+
+impl ModelFit {
+    /// Fits the imputation model on the selected series of `base`, with
+    /// treated (missing + inconsistent) cells masked out — exactly the rows
+    /// a model-imputing strategy would fit on.
+    pub fn fit(
+        base: &Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        mask: Option<&[bool]>,
+    ) -> Self {
+        assert_eq!(
+            base.num_series(),
+            glitches.len(),
+            "glitch annotations must align with series"
+        );
+        let v = base.num_attributes();
+        let transforms = ctx.transforms();
+        let selected = |i: usize| mask.is_none_or(|m| m[i]);
+        let mut rows = Vec::new();
+        for (i, series) in base.series().iter().enumerate() {
+            if !selected(i) {
+                continue;
+            }
+            let g = &glitches[i];
+            for t in 0..series.len() {
+                let mut row = Vec::with_capacity(v);
+                for (a, tf) in transforms.iter().enumerate() {
+                    let treated =
+                        g.get(a, GlitchType::Missing, t) || g.get(a, GlitchType::Inconsistent, t);
+                    let x = series.get(a, t);
+                    row.push(if treated { f64::NAN } else { tf.forward(x) });
+                }
+                rows.push(row);
+            }
+        }
+        match MvnImputer::fit(&rows) {
+            Ok(imp) => ModelFit {
+                imputer: Some(imp),
+                failed: false,
+            },
+            Err(_) => ModelFit {
+                imputer: None,
+                failed: true,
+            },
+        }
+    }
+
+    /// The fitted imputer (`None` when the fit failed).
+    pub fn imputer(&self) -> Option<&MvnImputer> {
+        self.imputer.as_ref()
+    }
+
+    /// Whether the model could not be fitted.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+}
+
+/// Uniform cell access over the two cleaning targets: a dataset rewritten
+/// in place, or a copy-on-write patch recorder. The cleaning pass itself is
+/// written once against this trait, so both paths execute identical logic
+/// (same reads, same writes, same RNG draws) and stay bit-identical.
+trait CellStore {
+    fn num_series(&self) -> usize;
+    fn num_attributes(&self) -> usize;
+    fn series_len(&self, series: usize) -> usize;
+    fn get(&self, series: usize, attr: usize, t: usize) -> f64;
+    fn set(&mut self, series: usize, attr: usize, t: usize, value: f64);
+}
+
+/// In-place store over a mutable dataset.
+struct DatasetStore<'a>(&'a mut Dataset);
+
+impl CellStore for DatasetStore<'_> {
+    fn num_series(&self) -> usize {
+        self.0.num_series()
+    }
+    fn num_attributes(&self) -> usize {
+        self.0.num_attributes()
+    }
+    fn series_len(&self, series: usize) -> usize {
+        self.0.series_at(series).len()
+    }
+    fn get(&self, series: usize, attr: usize, t: usize) -> f64 {
+        self.0.series_at(series).get(attr, t)
+    }
+    fn set(&mut self, series: usize, attr: usize, t: usize, value: f64) {
+        self.0.series_mut()[series].set(attr, t, value);
+    }
+}
+
+/// Copy-on-write store: the first write to a series clones it from the
+/// base; every write is also recorded in the cell patch.
+struct PatchStore<'a> {
+    base: &'a Dataset,
+    patched: Vec<Option<TimeSeries>>,
+    patch: DatasetPatch,
+}
+
+impl<'a> PatchStore<'a> {
+    fn new(base: &'a Dataset) -> Self {
+        PatchStore {
+            patched: vec![None; base.num_series()],
+            patch: DatasetPatch::new(base.num_series()),
+            base,
+        }
+    }
+
+    fn into_view(self) -> CleanedView<'a> {
+        CleanedView::new(self.base, self.patched, self.patch)
+    }
+}
+
+impl CellStore for PatchStore<'_> {
+    fn num_series(&self) -> usize {
+        self.base.num_series()
+    }
+    fn num_attributes(&self) -> usize {
+        self.base.num_attributes()
+    }
+    fn series_len(&self, series: usize) -> usize {
+        self.base.series_at(series).len()
+    }
+    fn get(&self, series: usize, attr: usize, t: usize) -> f64 {
+        match &self.patched[series] {
+            Some(s) => s.get(attr, t),
+            None => self.base.series_at(series).get(attr, t),
+        }
+    }
+    fn set(&mut self, series: usize, attr: usize, t: usize, value: f64) {
+        let slot = &mut self.patched[series];
+        if slot.is_none() {
+            *slot = Some(self.base.series_at(series).clone());
+        }
+        slot.as_mut()
+            .expect("just materialized")
+            .set(attr, t, value);
+        self.patch.record(series, attr, t, value);
+    }
+}
+
 /// Returns the paper's Strategy `k` (§5.1), `k ∈ 1..=5`:
 ///
 /// 1. model-impute missing/inconsistent + winsorize outliers;
@@ -134,39 +289,76 @@ impl CompositeStrategy {
         if let Some(m) = mask {
             assert_eq!(m.len(), data.num_series(), "mask must align with series");
         }
-        let v = data.num_attributes();
+        let model = (self.missing == MissingTreatment::ModelImpute)
+            .then(|| ModelFit::fit(data, glitches, ctx, mask));
+        self.clean_in(
+            &mut DatasetStore(data),
+            glitches,
+            ctx,
+            rng,
+            mask,
+            model.as_ref(),
+        )
+    }
+
+    /// Patch-recording variant of [`CompositeStrategy::clean`]: instead of
+    /// rewriting a dataset in place, records every touched cell against the
+    /// (borrowed, unmodified) `base` and returns a copy-on-write
+    /// [`CleanedView`] — only touched series are cloned.
+    ///
+    /// `model` optionally supplies a pre-fitted [`ModelFit`] (the engine
+    /// shares one per replication across its model-imputing strategy
+    /// units); when `None` and the strategy model-imputes, the fit runs
+    /// here, exactly as in the in-place path. Both paths execute the same
+    /// monomorphized cleaning pass, so for equal inputs and RNG state the
+    /// materialized view equals the in-place result bit for bit.
+    pub fn clean_patch<'a>(
+        &self,
+        base: &'a Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+        model: Option<&ModelFit>,
+    ) -> (CleanedView<'a>, CleaningOutcome) {
+        assert_eq!(
+            base.num_series(),
+            glitches.len(),
+            "glitch annotations must align with series"
+        );
+        let fitted;
+        let model = if self.missing == MissingTreatment::ModelImpute && model.is_none() {
+            fitted = ModelFit::fit(base, glitches, ctx, None);
+            Some(&fitted)
+        } else {
+            model
+        };
+        let mut store = PatchStore::new(base);
+        let outcome = self.clean_in(&mut store, glitches, ctx, rng, None, model);
+        (store.into_view(), outcome)
+    }
+
+    /// The cleaning pass, written once against [`CellStore`].
+    fn clean_in<S: CellStore>(
+        &self,
+        store: &mut S,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+        mask: Option<&[bool]>,
+        model: Option<&ModelFit>,
+    ) -> CleaningOutcome {
+        let v = store.num_attributes();
         let transforms = ctx.transforms().to_vec();
         let selected = |i: usize| mask.is_none_or(|m| m[i]);
 
         let mut outcome = CleaningOutcome::default();
 
-        // Fit the imputation model on the treated portion, with treated
-        // cells (missing + inconsistent) masked out.
         let imputer = if self.missing == MissingTreatment::ModelImpute {
-            let mut rows = Vec::new();
-            for (i, series) in data.series().iter().enumerate() {
-                if !selected(i) {
-                    continue;
-                }
-                let g = &glitches[i];
-                for t in 0..series.len() {
-                    let mut row = Vec::with_capacity(v);
-                    for (a, tf) in transforms.iter().enumerate() {
-                        let treated = g.get(a, GlitchType::Missing, t)
-                            || g.get(a, GlitchType::Inconsistent, t);
-                        let x = series.get(a, t);
-                        row.push(if treated { f64::NAN } else { tf.forward(x) });
-                    }
-                    rows.push(row);
-                }
+            let fit = model.expect("model-imputing strategies receive a ModelFit");
+            if fit.failed() {
+                outcome.model_fit_failed = true;
             }
-            match MvnImputer::fit(&rows) {
-                Ok(imp) => Some(imp),
-                Err(_) => {
-                    outcome.model_fit_failed = true;
-                    None
-                }
-            }
+            fit.imputer()
         } else {
             None
         };
@@ -184,13 +376,13 @@ impl CompositeStrategy {
 
         let mut wrec = vec![0.0; v];
         let mut treat = vec![false; v];
-        for (i, series) in data.series_mut().iter_mut().enumerate() {
+        for i in 0..store.num_series() {
             if !selected(i) {
                 continue;
             }
             let g = &glitches[i];
             let mut series_outcome = CleaningOutcome::default();
-            for t in 0..series.len() {
+            for t in 0..store.series_len(i) {
                 // Which cells does the missing-treatment replace?
                 for (a, slot) in treat.iter_mut().enumerate() {
                     *slot = self.missing != MissingTreatment::Ignore
@@ -200,12 +392,12 @@ impl CompositeStrategy {
 
                 match self.missing {
                     MissingTreatment::ModelImpute => {
-                        if let Some(imp) = &imputer {
+                        if let Some(imp) = imputer {
                             for (a, tf) in transforms.iter().enumerate() {
                                 wrec[a] = if treat[a] {
                                     f64::NAN
                                 } else {
-                                    tf.forward(series.get(a, t))
+                                    tf.forward(store.get(i, a, t))
                                 };
                             }
                             imp.impute_record(&mut wrec, rng);
@@ -215,10 +407,10 @@ impl CompositeStrategy {
                                 }
                                 if wrec[a].is_nan() {
                                     // Fully-missing record: unimputable.
-                                    series.set_missing(a, t);
+                                    store.set(i, a, t, f64::NAN);
                                     series_outcome.residual_missing_cells += 1;
                                 } else {
-                                    series.set(a, t, transforms[a].inverse(wrec[a]));
+                                    store.set(i, a, t, transforms[a].inverse(wrec[a]));
                                     series_outcome.model_imputed_cells += 1;
                                 }
                             }
@@ -228,7 +420,7 @@ impl CompositeStrategy {
                         if let Some(mi) = &mean_imputer {
                             for a in 0..v {
                                 if treat[a] {
-                                    series.set(a, t, mi.replacement(a));
+                                    store.set(i, a, t, mi.replacement(a));
                                     series_outcome.mean_imputed_cells += 1;
                                 }
                             }
@@ -244,10 +436,10 @@ impl CompositeStrategy {
                 // outliers at all (Table 1 reports exactly 0).
                 if let Some(wz) = &winsorizer {
                     for a in 0..v {
-                        let x = series.get(a, t);
+                        let x = store.get(i, a, t);
                         if wz.is_outlying(a, x) {
                             let repaired = wz.repair(a, x);
-                            series.set(a, t, repaired);
+                            store.set(i, a, t, repaired);
                             series_outcome.winsorized_cells += 1;
                         }
                     }
@@ -481,6 +673,65 @@ mod tests {
         // Series 0 cleaned.
         assert!(!data2.series_at(0).is_missing(0, 3));
         let _ = data; // silence unused when not cloned further
+    }
+
+    #[test]
+    fn clean_patch_matches_in_place_bit_for_bit() {
+        let f = fixture();
+        for k in 1..=5 {
+            let strategy = paper_strategy(k);
+            let mut in_place = f.dirty.clone();
+            let mut rng_a = StdRng::seed_from_u64(k as u64 * 101);
+            let out_a = strategy.clean(&mut in_place, &f.glitches, &f.ctx, &mut rng_a);
+
+            let mut rng_b = StdRng::seed_from_u64(k as u64 * 101);
+            let (view, out_b) =
+                strategy.clean_patch(&f.dirty, &f.glitches, &f.ctx, &mut rng_b, None);
+            assert_eq!(out_a, out_b, "strategy {k} outcome");
+            assert!(view.to_dataset().same_data(&in_place), "strategy {k} data");
+            // The patch replays to the same dataset as the view.
+            assert!(view.patch().apply_to(&f.dirty).same_data(&in_place));
+            // A pre-fitted shared model is bit-identical to refitting.
+            if strategy.missing_treatment() == MissingTreatment::ModelImpute {
+                let fit = ModelFit::fit(&f.dirty, &f.glitches, &f.ctx, None);
+                let mut rng_c = StdRng::seed_from_u64(k as u64 * 101);
+                let (view_c, out_c) =
+                    strategy.clean_patch(&f.dirty, &f.glitches, &f.ctx, &mut rng_c, Some(&fit));
+                assert_eq!(out_b, out_c);
+                assert!(view_c.to_dataset().same_data(&in_place));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_patch_leaves_untouched_series_unmaterialized() {
+        let f = fixture();
+        // Two series: the dirty one and a clean copy of the ideal one.
+        let clean_series = f.ideal.series_at(0).clone();
+        let data = Dataset::new(
+            vec!["a", "b"],
+            vec![f.dirty.series_at(0).clone(), clean_series],
+        )
+        .unwrap();
+        let detector = GlitchDetector::new(
+            ConstraintSet::new(vec![sd_glitch::Constraint::NonNegative { attr: 0 }]),
+            Some(OutlierDetector::fit(
+                &f.ideal,
+                &[AttributeTransform::Identity, AttributeTransform::Identity],
+                3.0,
+            )),
+        );
+        let glitches = detector.detect_dataset(&data);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (view, outcome) =
+            paper_strategy(5).clean_patch(&data, &glitches, &f.ctx, &mut rng, None);
+        assert!(outcome.cells_changed() > 0);
+        assert!(view.is_patched(0), "glitched series is rewritten");
+        assert!(
+            !view.is_patched(1),
+            "clean series stays a borrow of the base"
+        );
+        assert!(view.patch().is_touched(0) && !view.patch().is_touched(1));
     }
 
     #[test]

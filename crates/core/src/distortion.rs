@@ -1,6 +1,6 @@
 use crate::{FrameworkError, Result};
 use sd_data::Dataset;
-use sd_emd::{DistanceScaling, GridEmd};
+use sd_emd::{DistanceScaling, GridEmd, PatchedCloud, SignatureCache};
 use sd_linalg::MahalanobisMetric;
 use sd_stats::{kl_divergence, AttributeTransform, GridHistogram, GridSpec};
 use std::collections::BTreeMap;
@@ -86,6 +86,45 @@ pub fn statistical_distortion(
 ) -> Result<f64> {
     let rows_d = pooled_working_rows(dirty, transforms);
     let rows_c = pooled_working_rows(cleaned, transforms);
+    distortion_from_rows(&rows_d, &rows_c, metric)
+}
+
+/// Distortion between the cached dirty cloud and its cleaned counterpart
+/// expressed as sparse working-space row edits (the engine's hot path).
+///
+/// The EMD arm never materializes the cleaned cloud: sorted columns and
+/// the histogram are derived from the cached dirty side plus the edits,
+/// bit-identically to the materialized pipeline. The KL and Mahalanobis
+/// arms materialize the rows and take the ordinary path.
+pub(crate) fn distortion_patched(
+    dirty_cache: &SignatureCache,
+    edits: Vec<(usize, Vec<f64>)>,
+    metric: DistortionMetric,
+) -> Result<f64> {
+    let patched = PatchedCloud::new(dirty_cache, edits);
+    match metric {
+        DistortionMetric::Emd { bins, scaling } => {
+            let report = GridEmd::new(bins)
+                .with_scaling(scaling)
+                .with_max_exact_cells(60_000)
+                .distance_patched(&patched)
+                .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
+            Ok(report.emd)
+        }
+        other => {
+            let rows_c = patched.materialize();
+            distortion_from_rows(dirty_cache.rows(), &rows_c, other)
+        }
+    }
+}
+
+/// Distortion between already-pooled working-space rows (no cached state;
+/// the engine's sparse-edit entry point is [`distortion_patched`]).
+pub(crate) fn distortion_from_rows(
+    rows_d: &[Vec<f64>],
+    rows_c: &[Vec<f64>],
+    metric: DistortionMetric,
+) -> Result<f64> {
     match metric {
         DistortionMetric::Emd { bins, scaling } => {
             // Guard the exact solver: beyond ~60k occupied-cell pairs the
@@ -94,15 +133,15 @@ pub fn statistical_distortion(
             let report = GridEmd::new(bins)
                 .with_scaling(scaling)
                 .with_max_exact_cells(60_000)
-                .distance(&rows_d, &rows_c)
+                .distance(rows_d, rows_c)
                 .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
             Ok(report.emd)
         }
         DistortionMetric::KlDivergence { bins } => {
-            let spec = GridSpec::covering(&rows_d, &rows_c, bins)
+            let spec = GridSpec::covering(rows_d, rows_c, bins)
                 .ok_or_else(|| FrameworkError::Distortion("empty data".into()))?;
-            let hd = GridHistogram::from_points(spec.clone(), &rows_d);
-            let hc = GridHistogram::from_points(spec, &rows_c);
+            let hd = GridHistogram::from_points(spec.clone(), rows_d);
+            let hc = GridHistogram::from_points(spec, rows_c);
             if hd.total() == 0.0 || hc.total() == 0.0 {
                 return Err(FrameworkError::Distortion(
                     "no complete records to compare".into(),
@@ -127,8 +166,8 @@ pub fn statistical_distortion(
                     .cloned()
                     .collect()
             };
-            let cd = complete(&rows_d);
-            let cc = complete(&rows_c);
+            let cd = complete(rows_d);
+            let cc = complete(rows_c);
             if cd.len() < 3 || cc.len() < 3 {
                 return Err(FrameworkError::Distortion(
                     "too few complete records".into(),

@@ -1,4 +1,4 @@
-use crate::{parallel_map, partition_ideal, statistical_distortion, DistortionMetric, Result};
+use crate::{partition_ideal, statistical_distortion, DistortionMetric, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningContext, CleaningOutcome, CleaningStrategy, CompositeStrategy};
@@ -96,6 +96,11 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
+    /// Assembles a result from unit outcomes (engine-internal).
+    pub(crate) fn from_outcomes(outcomes: Vec<StrategyOutcome>) -> Self {
+        ExperimentResult { outcomes }
+    }
+
     /// Every `(strategy, replication)` outcome.
     pub fn outcomes(&self) -> &[StrategyOutcome] {
         &self.outcomes
@@ -221,6 +226,17 @@ impl PreparedExperiment {
         }
     }
 
+    /// Runs all `R × S` `(replication, strategy)` units of this prepared
+    /// experiment on the staged engine (see [`crate::engine`]) with a
+    /// caller-supplied executor. [`Experiment::run`] is `prepare` + this.
+    pub fn run_with<E: crate::TaskExecutor>(
+        &self,
+        strategies: &[CompositeStrategy],
+        executor: &E,
+    ) -> Result<ExperimentResult> {
+        crate::engine::run_batch(self, strategies, executor)
+    }
+
     /// Scores one strategy on one replication.
     pub fn evaluate(
         &self,
@@ -296,31 +312,31 @@ impl Experiment {
         })
     }
 
-    /// Runs the full protocol: `R` replications × all strategies, in
-    /// parallel over replications.
+    /// Runs the full protocol on the staged engine: a work queue of
+    /// `R × S` `(replication, strategy)` units with per-replication
+    /// artifacts shared across each replication's strategy units (see
+    /// [`crate::engine`]). Outcomes are bit-identical to the historical
+    /// replication-granular runner for the same seed.
     pub fn run(
         &self,
         data: &Dataset,
         strategies: &[CompositeStrategy],
     ) -> Result<ExperimentResult> {
-        let prepared = self.prepare(data)?;
-        let per_replication: Vec<Result<Vec<StrategyOutcome>>> = parallel_map(
-            self.config.replications,
-            self.config.threads,
-            |i| -> Result<Vec<StrategyOutcome>> {
-                let artifacts = prepared.replication(i);
-                strategies
-                    .iter()
-                    .enumerate()
-                    .map(|(si, s)| prepared.evaluate(&artifacts, s, si))
-                    .collect()
-            },
-        );
-        let mut outcomes = Vec::with_capacity(self.config.replications * strategies.len());
-        for r in per_replication {
-            outcomes.extend(r?);
-        }
-        Ok(ExperimentResult { outcomes })
+        self.run_with(
+            data,
+            strategies,
+            &crate::ThreadPoolExecutor::new(self.config.threads),
+        )
+    }
+
+    /// Like [`Experiment::run`], on a caller-supplied task executor.
+    pub fn run_with<E: crate::TaskExecutor>(
+        &self,
+        data: &Dataset,
+        strategies: &[CompositeStrategy],
+        executor: &E,
+    ) -> Result<ExperimentResult> {
+        self.prepare(data)?.run_with(strategies, executor)
     }
 }
 

@@ -50,19 +50,23 @@
 mod budget;
 mod cost;
 mod distortion;
+pub mod engine;
 mod error;
 mod experiment;
 mod figures;
 mod ideal;
 mod runner;
 mod tables;
+pub mod windowed;
 
 pub use budget::{budget_tradeoff, BudgetPoint, BudgetScenario};
 pub use cost::{cost_sweep, CostPoint, CostSweepConfig};
 pub use distortion::{statistical_distortion, DistortionMetric};
+pub use engine::{run_staged, SerialExecutor, TaskExecutor, ThreadPoolExecutor};
 pub use error::FrameworkError;
 pub use experiment::{
-    Experiment, ExperimentConfig, ExperimentResult, ReplicationArtifacts, StrategyOutcome,
+    Experiment, ExperimentConfig, ExperimentResult, PreparedExperiment, ReplicationArtifacts,
+    StrategyOutcome,
 };
 pub use figures::{
     figure3_series, figure4_scatter, figure5_scatter, figure6_points, Figure3Data, ScatterPair,
@@ -71,6 +75,7 @@ pub use figures::{
 pub use ideal::{partition_ideal, IdealPartition};
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};
+pub use windowed::{WindowOutcome, WindowedConfig, WindowedExperiment, WindowedResult};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, FrameworkError>;

@@ -30,7 +30,10 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    // One preallocated slot per task, written by index: workers never
+    // contend on a shared results vector, and the output needs no sort —
+    // slot order *is* index order.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -39,14 +42,18 @@ where
                     break;
                 }
                 let value = f(i);
-                results.lock().push((i, value));
+                *slots[i].lock() = Some(value);
             });
         }
     });
 
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, v)| v).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every slot is filled by its worker")
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -195,6 +195,17 @@ impl Dataset {
                 .all(|(a, b)| a.same_data(b))
     }
 
+    /// A dataset of the same schema whose series are the `start..end` time
+    /// window of every series (each clipped to its own length; series that
+    /// end before `start` contribute an empty slice). The §3.3 windowed
+    /// workloads operate on these slices.
+    pub fn window_slice(&self, start: usize, end: usize) -> Dataset {
+        Dataset {
+            attributes: self.attributes.clone(),
+            series: self.series.iter().map(|s| s.slice(start, end)).collect(),
+        }
+    }
+
     /// Builds a new dataset with the same schema from a subset of series
     /// indices (duplicates allowed — used by with-replacement sampling).
     pub fn subset(&self, indices: &[usize]) -> Dataset {

@@ -15,7 +15,10 @@
 //! * [`Dataset`] — a collection of series with attribute metadata, plus
 //!   record pooling (the paper computes EMD "treating each time instance as
 //!   a separate data point");
-//! * [`Window`] — a borrowed `w`-step history view `F^w_t`.
+//! * [`Window`] — a borrowed `w`-step history view `F^w_t`;
+//! * [`DatasetPatch`] / [`CleanedView`] — sparse cell-edit logs and the
+//!   copy-on-write cleaned view the experiment engine materializes from
+//!   them (touched series cloned, untouched series borrowed).
 //!
 //! ```
 //! use sd_data::{Dataset, NodeId, TimeSeries};
@@ -32,12 +35,14 @@
 
 mod dataset;
 mod node;
+mod patch;
 mod series;
 mod topology;
 mod window;
 
 pub use dataset::{AttributeMeta, DataError, Dataset};
 pub use node::{NodeId, RncId, TowerId};
+pub use patch::{CellEdit, CleanedView, DatasetPatch};
 pub use series::{Record, TimeSeries};
 pub use topology::Topology;
 pub use window::Window;

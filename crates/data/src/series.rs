@@ -172,6 +172,25 @@ impl TimeSeries {
                 .all(|(a, b)| a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()))
     }
 
+    /// An owned sub-series covering times `start..end` (clipped to the
+    /// series length), preserving the node and schema. Used by the windowed
+    /// experiment mode to materialize one window of the stream.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        let start = start.min(self.len);
+        let end = end.clamp(start, self.len);
+        let len = end - start;
+        let mut values = Vec::with_capacity(self.num_attributes * len);
+        for a in 0..self.num_attributes {
+            values.extend_from_slice(&self.attribute(a)[start..end]);
+        }
+        TimeSeries {
+            node: self.node,
+            num_attributes: self.num_attributes,
+            len,
+            values,
+        }
+    }
+
     /// Applies `f` to every present (non-missing) cell of attribute `attr`.
     pub fn map_attribute_in_place(&mut self, attr: usize, mut f: impl FnMut(f64) -> f64) {
         for x in self.attribute_mut(attr) {

@@ -1,5 +1,8 @@
-use crate::{sinkhorn, EmdError, Result, Signature, SinkhornParams, TransportProblem};
-use sd_stats::{GridHistogram, GridSpec};
+use crate::signature::{quantize, scaled_signature, PatchedCloud};
+use crate::{
+    sinkhorn, EmdError, Result, Signature, SignatureCache, SinkhornParams, TransportProblem,
+};
+use sd_stats::{sorted_union_columns, GridSpec};
 
 /// How cell-centre coordinates are scaled before computing ground
 /// distances.
@@ -145,21 +148,99 @@ impl GridEmd {
     /// any missing (NaN) coordinate are excluded from the density and
     /// reported in the diagnostics.
     pub fn distance(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<GridEmdReport> {
-        let spec = match self.cover {
-            CoverRule::MinMax => GridSpec::covering(a, b, self.bins_per_axis),
-            CoverRule::Quantile(qlo, qhi) => {
-                GridSpec::covering_quantiles(a, b, self.bins_per_axis, qlo, qhi)
-            }
-            CoverRule::Robust { z } => GridSpec::covering_robust(a, b, self.bins_per_axis, z),
-        }
-        .ok_or(EmdError::EmptyInput)?;
-        let ha = GridHistogram::from_points(spec.clone(), a);
-        let hb = GridHistogram::from_points(spec.clone(), b);
-        if ha.total() == 0.0 || hb.total() == 0.0 {
+        let columns = sorted_union_columns(a, b).ok_or(EmdError::EmptyInput)?;
+        let spec = self.spec_from_sorted_columns(&columns);
+        let qa = quantize(&spec, a);
+        if qa.total == 0.0 {
             return Err(EmdError::EmptyInput);
         }
+        let scale = self.axis_scale(&spec);
+        let sig_a = scaled_signature(qa.pairs, &scale)?;
+        let qb = quantize(&spec, b);
+        self.solve_pair(&scale, &sig_a, qa.occupied, qa.skipped, qb)
+    }
 
-        let scale: Vec<f64> = match self.scaling {
+    /// Like [`GridEmd::distance`], but with the first cloud's quantization
+    /// state served from a [`SignatureCache`]: the cached sorted columns
+    /// feed the cover rule (merged with `b`'s columns instead of re-sorting
+    /// the union), and the cached cloud's histogram/signature for the
+    /// resulting grid is built at most once per distinct `(spec, scaling)`.
+    ///
+    /// Bit-identical to `self.distance(cache.rows(), b)`: both paths share
+    /// the sorted-column cover constructors and the same signature/solver
+    /// pipeline.
+    pub fn distance_cached(&self, cache: &SignatureCache, b: &[Vec<f64>]) -> Result<GridEmdReport> {
+        if cache.rows().is_empty() {
+            return Err(EmdError::EmptyInput);
+        }
+        let b_columns = cache.counterpart_columns(b);
+        let spec = self.spec_from_column_pairs(cache.sorted_columns(), &b_columns);
+        let scale = self.axis_scale(&spec);
+        let side = cache.side_for(&spec, &scale)?;
+        let qb = quantize(&spec, b);
+        self.solve_pair(&scale, &side.signature, side.occupied, side.skipped, qb)
+    }
+
+    /// EMD between the cached cloud and a [`PatchedCloud`] counterpart
+    /// (the cleaned sample as sparse row edits against the dirty one).
+    /// The cover rule consumes derived sorted columns, and the counterpart
+    /// histogram is the cached histogram with only the edited rows
+    /// re-binned. Bit-identical to
+    /// `self.distance(cache.rows(), &patched.materialize())`.
+    pub fn distance_patched(&self, patched: &PatchedCloud<'_>) -> Result<GridEmdReport> {
+        let cache = patched.cache();
+        if cache.rows().is_empty() {
+            return Err(EmdError::EmptyInput);
+        }
+        let b_columns = patched.sorted_columns();
+        let spec = self.spec_from_column_pairs(cache.sorted_columns(), &b_columns);
+        let scale = self.axis_scale(&spec);
+        let side = cache.side_for(&spec, &scale)?;
+        let qb = patched.quantize_on(&spec, &side.quant);
+        self.solve_pair(&scale, &side.signature, side.occupied, side.skipped, qb)
+    }
+
+    /// The grid spec for pre-sorted per-axis union columns, under this
+    /// pipeline's cover rule.
+    fn spec_from_sorted_columns(&self, columns: &[Vec<f64>]) -> GridSpec {
+        match self.cover {
+            CoverRule::MinMax => {
+                GridSpec::from_sorted_columns_quantiles(columns, self.bins_per_axis, 0.0, 1.0)
+            }
+            CoverRule::Quantile(qlo, qhi) => {
+                GridSpec::from_sorted_columns_quantiles(columns, self.bins_per_axis, qlo, qhi)
+            }
+            CoverRule::Robust { z } => {
+                GridSpec::from_sorted_columns_robust(columns, self.bins_per_axis, z)
+            }
+        }
+    }
+
+    /// The grid spec when each axis's union column is split into two
+    /// sorted halves (cached side + counterpart side) — same cover rules,
+    /// quantiles read by rank selection instead of merging.
+    fn spec_from_column_pairs(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> GridSpec {
+        let pairs: Vec<(&[f64], &[f64])> = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x.as_slice(), y.as_slice()))
+            .collect();
+        match self.cover {
+            CoverRule::MinMax => {
+                GridSpec::from_sorted_column_pairs_quantiles(&pairs, self.bins_per_axis, 0.0, 1.0)
+            }
+            CoverRule::Quantile(qlo, qhi) => {
+                GridSpec::from_sorted_column_pairs_quantiles(&pairs, self.bins_per_axis, qlo, qhi)
+            }
+            CoverRule::Robust { z } => {
+                GridSpec::from_sorted_column_pairs_robust(&pairs, self.bins_per_axis, z)
+            }
+        }
+    }
+
+    /// Per-axis coordinate divisors implied by the scaling mode.
+    fn axis_scale(&self, spec: &GridSpec) -> Vec<f64> {
+        match self.scaling {
             DistanceScaling::Raw => vec![1.0; spec.dim()],
             DistanceScaling::Normalized => spec
                 .axes()
@@ -173,10 +254,25 @@ impl GridEmd {
                     }
                 })
                 .collect(),
-        };
+        }
+    }
 
-        let sig_a = scaled_signature(&ha, &scale)?;
-        let sig_b = scaled_signature(&hb, &scale)?;
+    /// Shared back half of the pipeline: solve the transportation problem
+    /// between the prepared `a` side and the quantized `b` side.
+    fn solve_pair(
+        &self,
+        scale: &[f64],
+        sig_a: &Signature,
+        occupied_a: usize,
+        skipped_a: usize,
+        qb: crate::signature::CloudQuant,
+    ) -> Result<GridEmdReport> {
+        if qb.total == 0.0 {
+            return Err(EmdError::EmptyInput);
+        }
+        let occupied_b = qb.occupied;
+        let skipped_b = qb.skipped;
+        let sig_b = scaled_signature(qb.pairs, scale)?;
 
         let cost = crate::ground_distance_matrix(sig_a.points(), sig_b.points());
         let exact = sig_a.len() * sig_b.len() <= self.max_exact_cells;
@@ -201,10 +297,10 @@ impl GridEmd {
 
         Ok(GridEmdReport {
             emd,
-            occupied_a: ha.occupied(),
-            occupied_b: hb.occupied(),
-            skipped_a: ha.skipped(),
-            skipped_b: hb.skipped(),
+            occupied_a,
+            occupied_b,
+            skipped_a,
+            skipped_b,
             solver: if exact {
                 SolverUsed::Simplex
             } else {
@@ -212,20 +308,6 @@ impl GridEmd {
             },
         })
     }
-}
-
-fn scaled_signature(hist: &GridHistogram, scale: &[f64]) -> Result<Signature> {
-    let pairs = hist.signature();
-    let scaled: Vec<(Vec<f64>, f64)> = pairs
-        .into_iter()
-        .map(|(mut point, w)| {
-            for (x, s) in point.iter_mut().zip(scale) {
-                *x /= s;
-            }
-            (point, w)
-        })
-        .collect();
-    Signature::from_pairs(scaled)
 }
 
 #[cfg(test)]
@@ -331,6 +413,137 @@ mod tests {
             .unwrap();
         assert_eq!(report.solver, SolverUsed::Sinkhorn);
         assert!(report.emd.is_finite());
+    }
+
+    #[test]
+    fn cached_distance_is_bit_identical_to_direct() {
+        // Several counterpart clouds against one cached cloud, across cover
+        // rules and scalings: the cached path must reproduce the direct
+        // path bit for bit, hits and misses alike.
+        let a: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 10) as f64 * 1.3, (i / 10) as f64, (i % 7) as f64 * 0.2])
+            .collect();
+        let mut with_gap = a.clone();
+        with_gap[5][1] = f64::NAN;
+        let counterparts: Vec<Vec<Vec<f64>>> = vec![
+            a.clone(), // identical → same grid, memo hit on the second call
+            a.iter().map(|p| vec![p[0] + 2.0, p[1], p[2]]).collect(),
+            a.iter()
+                .map(|p| vec![p[0], p[1] * 3.0, p[2] + 1.0])
+                .collect(),
+            with_gap,
+        ];
+        for g in [
+            GridEmd::new(6),
+            GridEmd::new(4).with_scaling(DistanceScaling::Raw),
+            GridEmd::new(5).with_cover(CoverRule::MinMax),
+            GridEmd::new(5).with_cover(CoverRule::Quantile(0.05, 0.95)),
+        ] {
+            let cache = SignatureCache::new(a.clone());
+            for b in &counterparts {
+                let direct = g.distance(&a, b).unwrap();
+                let cached = g.distance_cached(&cache, b).unwrap();
+                assert_eq!(direct.emd.to_bits(), cached.emd.to_bits());
+                assert_eq!(direct.occupied_a, cached.occupied_a);
+                assert_eq!(direct.occupied_b, cached.occupied_b);
+                assert_eq!(direct.skipped_a, cached.skipped_a);
+                assert_eq!(direct.skipped_b, cached.skipped_b);
+                assert_eq!(direct.solver, cached.solver);
+            }
+            // Re-scoring the identical cloud hits the memo.
+            let before = cache.memoized();
+            g.distance_cached(&cache, &a).unwrap();
+            assert_eq!(cache.memoized(), before);
+        }
+    }
+
+    #[test]
+    fn patched_distance_is_bit_identical_to_direct() {
+        // The patched pipeline (derived sorted columns + incrementally
+        // edited dense histogram) must equal the direct pipeline on the
+        // materialized cloud, bit for bit, across edit shapes.
+        let a: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i % 9) as f64 * 1.7, (i / 9) as f64 * 0.9, (i % 5) as f64])
+            .collect();
+        let edit_sets: Vec<Vec<(usize, Vec<f64>)>> = vec![
+            vec![],                            // no edits: b == a
+            vec![(3, vec![100.0, -4.0, 2.0])], // one row far away
+            (0..40)
+                .map(|r| (r * 2, vec![r as f64 * 0.3, 1.0, 2.5]))
+                .collect(),
+            vec![(7, vec![f64::NAN, 1.0, 1.0])], // edit introduces a gap
+            vec![(11, vec![0.0, 0.0, 0.0]), (12, vec![8.5, 7.2, 4.0])],
+        ];
+        let mut with_gap = a.clone();
+        with_gap[5][0] = f64::NAN; // base cloud itself has a gap
+        for base in [a.clone(), with_gap] {
+            for g in [
+                GridEmd::new(6),
+                GridEmd::new(4).with_scaling(DistanceScaling::Raw),
+                GridEmd::new(5).with_cover(CoverRule::MinMax),
+            ] {
+                let cache = SignatureCache::new(base.clone());
+                for edits in &edit_sets {
+                    let patched = PatchedCloud::new(&cache, edits.clone());
+                    let b = patched.materialize();
+                    let direct = g.distance(&base, &b).unwrap();
+                    let fast = g.distance_patched(&patched).unwrap();
+                    assert_eq!(direct.emd.to_bits(), fast.emd.to_bits());
+                    assert_eq!(direct.occupied_a, fast.occupied_a);
+                    assert_eq!(direct.occupied_b, fast.occupied_b);
+                    assert_eq!(direct.skipped_a, fast.skipped_a);
+                    assert_eq!(direct.skipped_b, fast.skipped_b);
+                    assert_eq!(direct.solver, fast.solver);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_quantization_agree() {
+        use crate::signature::quantize;
+        use sd_stats::GridHistogram;
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 40.0;
+                let y = (i as f64 * 0.11).cos() * 7.0;
+                vec![x, if i % 13 == 0 { f64::NAN } else { y }]
+            })
+            .collect();
+        let spec = sd_stats::GridSpec::covering(&rows, &[], 9).unwrap();
+        let dense = quantize(&spec, &rows);
+        assert!(dense.counts.is_some(), "9×9 grid takes the dense path");
+        let sparse = GridHistogram::from_points(spec.clone(), &rows);
+        assert_eq!(dense.total, sparse.total());
+        assert_eq!(dense.skipped, sparse.skipped());
+        assert_eq!(dense.occupied, sparse.occupied());
+        let sparse_pairs = sparse.signature();
+        assert_eq!(dense.pairs.len(), sparse_pairs.len());
+        for ((pc, pm), (sc, sm)) in dense.pairs.iter().zip(&sparse_pairs) {
+            assert_eq!(pc, sc, "centre order must match");
+            assert_eq!(pm.to_bits(), sm.to_bits(), "masses must match");
+        }
+    }
+
+    #[test]
+    fn cached_distance_matches_direct_errors() {
+        let a = cloud(&[(0.0, 0.0), (1.0, 1.0)]);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let cache = SignatureCache::new(a.clone());
+        assert!(matches!(
+            GridEmd::new(4).distance_cached(&cache, &empty),
+            Err(EmdError::EmptyInput)
+        ));
+        let all_missing = vec![vec![f64::NAN, f64::NAN]];
+        assert!(GridEmd::new(4)
+            .distance_cached(&cache, &all_missing)
+            .is_err());
+        // Empty cached cloud behaves like an empty first argument.
+        let empty_cache = SignatureCache::new(Vec::new());
+        assert!(matches!(
+            GridEmd::new(4).distance_cached(&empty_cache, &a),
+            Err(EmdError::EmptyInput)
+        ));
     }
 
     #[test]

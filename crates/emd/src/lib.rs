@@ -46,7 +46,9 @@ pub use emd1d::{emd_1d_histograms, emd_1d_samples, emd_1d_weighted};
 pub use error::EmdError;
 pub use flow::MinCostFlow;
 pub use grid_emd::{CoverRule, DistanceScaling, GridEmd, GridEmdReport, SolverUsed};
-pub use signature::{euclidean, ground_distance_matrix, Signature};
+pub use signature::{
+    euclidean, ground_distance_matrix, CachedSide, PatchedCloud, Signature, SignatureCache,
+};
 pub use sinkhorn::{sinkhorn, SinkhornParams};
 pub use transport::TransportProblem;
 

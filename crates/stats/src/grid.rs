@@ -14,6 +14,9 @@ pub struct GridSpec {
     axes: Vec<HistogramSpec>,
 }
 
+/// Empty column half for the single-column pair delegations.
+const EMPTY: &[f64] = &[];
+
 impl GridSpec {
     /// Creates a grid from per-axis specs (at least one axis).
     pub fn new(axes: Vec<HistogramSpec>) -> Self {
@@ -44,32 +47,59 @@ impl GridSpec {
         qlo: f64,
         qhi: f64,
     ) -> Option<Self> {
+        let columns = sorted_union_columns(a, b)?;
+        Some(Self::from_sorted_columns_quantiles(
+            &columns, bins, qlo, qhi,
+        ))
+    }
+
+    /// Quantile cover from per-axis columns that are already sorted
+    /// ascending (by [`f64::total_cmp`]) and NaN-free — the seam that lets
+    /// callers cache one cloud's sorted columns and merge in the other
+    /// cloud instead of re-sorting the union from scratch.
+    /// [`GridSpec::covering_quantiles`] delegates here, so both paths are
+    /// bit-identical by construction. Empty columns get a degenerate
+    /// (widened) axis.
+    pub fn from_sorted_columns_quantiles(
+        columns: &[Vec<f64>],
+        bins: usize,
+        qlo: f64,
+        qhi: f64,
+    ) -> Self {
+        let pairs: Vec<(&[f64], &[f64])> = columns.iter().map(|c| (c.as_slice(), EMPTY)).collect();
+        Self::from_sorted_column_pairs_quantiles(&pairs, bins, qlo, qhi)
+    }
+
+    /// Quantile cover where each axis's union column is given as **two**
+    /// sorted halves (e.g. a cached cloud's column and a derived
+    /// counterpart column): quantiles are read by two-array rank selection
+    /// ([`crate::quantile_of_sorted_pair`]), so the union is never
+    /// materialized. This is the single implementation behind every
+    /// quantile cover — the merged-column entry points delegate here with
+    /// an empty second half.
+    pub fn from_sorted_column_pairs_quantiles(
+        pairs: &[(&[f64], &[f64])],
+        bins: usize,
+        qlo: f64,
+        qhi: f64,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&qlo) && (0.0..=1.0).contains(&qhi) && qlo < qhi,
             "quantiles must satisfy 0 <= qlo < qhi <= 1"
         );
-        let dim = a.first().or_else(|| b.first())?.len();
-        let mut axes = Vec::with_capacity(dim);
-        let mut column = Vec::with_capacity(a.len() + b.len());
-        for k in 0..dim {
-            column.clear();
-            for row in a.iter().chain(b.iter()) {
-                assert_eq!(row.len(), dim, "ragged point cloud");
-                let x = row[k];
-                if !x.is_nan() {
-                    column.push(x);
-                }
-            }
-            if column.is_empty() {
+        assert!(!pairs.is_empty(), "grid needs at least one axis");
+        let mut axes = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            let (Some(lo), Some(hi)) = (
+                crate::quantile_of_sorted_pair(a, b, qlo),
+                crate::quantile_of_sorted_pair(a, b, qhi),
+            ) else {
                 axes.push(HistogramSpec::new(0.0, 0.0, bins));
                 continue;
-            }
-            column.sort_by(f64::total_cmp);
-            let lo = crate::quantile_of_sorted(&column, qlo).expect("non-empty");
-            let hi = crate::quantile_of_sorted(&column, qhi).expect("non-empty");
+            };
             axes.push(HistogramSpec::new(lo, hi, bins));
         }
-        Some(GridSpec { axes })
+        GridSpec { axes }
     }
 
     /// Robust cover: each axis spans `median ± z_range · IQR` of the union,
@@ -88,27 +118,39 @@ impl GridSpec {
         bins: usize,
         z_range: f64,
     ) -> Option<Self> {
+        let columns = sorted_union_columns(a, b)?;
+        Some(Self::from_sorted_columns_robust(&columns, bins, z_range))
+    }
+
+    /// Robust cover from per-axis columns that are already sorted ascending
+    /// (by [`f64::total_cmp`]) and NaN-free. [`GridSpec::covering_robust`]
+    /// delegates here; see [`GridSpec::from_sorted_columns_quantiles`] for
+    /// the caching rationale.
+    pub fn from_sorted_columns_robust(columns: &[Vec<f64>], bins: usize, z_range: f64) -> Self {
+        let pairs: Vec<(&[f64], &[f64])> = columns.iter().map(|c| (c.as_slice(), EMPTY)).collect();
+        Self::from_sorted_column_pairs_robust(&pairs, bins, z_range)
+    }
+
+    /// Robust cover over per-axis sorted column **pairs**; see
+    /// [`GridSpec::from_sorted_column_pairs_quantiles`] for the pair
+    /// representation. Single implementation behind every robust cover.
+    pub fn from_sorted_column_pairs_robust(
+        pairs: &[(&[f64], &[f64])],
+        bins: usize,
+        z_range: f64,
+    ) -> Self {
         assert!(z_range > 0.0, "z_range must be positive");
-        let dim = a.first().or_else(|| b.first())?.len();
-        let mut axes = Vec::with_capacity(dim);
-        let mut column = Vec::with_capacity(a.len() + b.len());
-        for k in 0..dim {
-            column.clear();
-            for row in a.iter().chain(b.iter()) {
-                assert_eq!(row.len(), dim, "ragged point cloud");
-                let x = row[k];
-                if !x.is_nan() {
-                    column.push(x);
-                }
-            }
-            if column.is_empty() {
+        assert!(!pairs.is_empty(), "grid needs at least one axis");
+        let mut axes = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            let (Some(median), Some(q1), Some(q3)) = (
+                crate::quantile_of_sorted_pair(a, b, 0.5),
+                crate::quantile_of_sorted_pair(a, b, 0.25),
+                crate::quantile_of_sorted_pair(a, b, 0.75),
+            ) else {
                 axes.push(HistogramSpec::new(0.0, 0.0, bins));
                 continue;
-            }
-            column.sort_by(f64::total_cmp);
-            let median = crate::quantile_of_sorted(&column, 0.5).expect("non-empty");
-            let q1 = crate::quantile_of_sorted(&column, 0.25).expect("non-empty");
-            let q3 = crate::quantile_of_sorted(&column, 0.75).expect("non-empty");
+            };
             let iqr = q3 - q1;
             if iqr > 0.0 {
                 axes.push(HistogramSpec::new(
@@ -117,12 +159,12 @@ impl GridSpec {
                     bins,
                 ));
             } else {
-                let lo = *column.first().expect("non-empty");
-                let hi = *column.last().expect("non-empty");
+                let lo = crate::select_sorted_pair(a, b, 0);
+                let hi = crate::select_sorted_pair(a, b, a.len() + b.len() - 1);
                 axes.push(HistogramSpec::new(lo, hi, bins));
             }
         }
-        Some(GridSpec { axes })
+        GridSpec { axes }
     }
 
     /// Number of dimensions.
@@ -156,6 +198,30 @@ impl GridSpec {
             .map(|(spec, &i)| spec.center(i as usize))
             .collect()
     }
+}
+
+/// Per-axis sorted (by [`f64::total_cmp`]), NaN-free columns of the union
+/// of two point clouds. `None` when both clouds are empty.
+///
+/// This is the shared quantization input behind the [`GridSpec::covering`]
+/// family: the sorted union column of each axis is what the quantile and
+/// robust covers consume.
+pub fn sorted_union_columns(a: &[Vec<f64>], b: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let dim = a.first().or_else(|| b.first())?.len();
+    let mut columns = Vec::with_capacity(dim);
+    for k in 0..dim {
+        let mut column = Vec::with_capacity(a.len() + b.len());
+        for row in a.iter().chain(b.iter()) {
+            assert_eq!(row.len(), dim, "ragged point cloud");
+            let x = row[k];
+            if !x.is_nan() {
+                column.push(x);
+            }
+        }
+        column.sort_by(f64::total_cmp);
+        columns.push(column);
+    }
+    Some(columns)
 }
 
 /// A sparse multi-dimensional histogram over a [`GridSpec`].

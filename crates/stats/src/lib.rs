@@ -19,10 +19,12 @@ mod transform;
 
 pub use correlation::{autocorrelation, pearson};
 pub use ecdf::Ecdf;
-pub use grid::{GridHistogram, GridSpec};
+pub use grid::{sorted_union_columns, GridHistogram, GridSpec};
 pub use histogram::{Histogram, HistogramSpec};
 pub use kl::{jensen_shannon_divergence, kl_divergence};
-pub use quantile::{median, quantile, quantile_of_sorted};
+pub use quantile::{
+    median, quantile, quantile_of_sorted, quantile_of_sorted_pair, select_sorted_pair,
+};
 pub use summary::Summary;
 pub use transform::AttributeTransform;
 

@@ -17,6 +17,65 @@ pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
 }
 
+/// Element at ascending rank `k` (0-based, by [`f64::total_cmp`]) of the
+/// multiset union of two ascending-sorted slices, without materializing
+/// the merge. Equal values are interchangeable, so the result is
+/// bit-identical to `merge(a, b)[k]`.
+pub fn select_sorted_pair(a: &[f64], b: &[f64], k: usize) -> f64 {
+    assert!(k < a.len() + b.len(), "rank out of range");
+    let (a, b) = if a.len() > b.len() { (b, a) } else { (a, b) };
+    // Binary search the number `i` of elements taken from `a`: the
+    // smallest split where b's untaken prefix no longer precedes a[i].
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = k - i;
+        if j > 0 && b[j - 1].total_cmp(&a[i]).is_gt() {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    let i = lo;
+    let j = k - i;
+    let next_a = (i < a.len()).then(|| a[i]);
+    let next_b = (j < b.len()).then(|| b[j]);
+    match (next_a, next_b) {
+        (Some(x), Some(y)) => {
+            if x.total_cmp(&y).is_le() {
+                x
+            } else {
+                y
+            }
+        }
+        (Some(x), None) => x,
+        (None, Some(y)) => y,
+        (None, None) => unreachable!("k < a.len() + b.len()"),
+    }
+}
+
+/// Type-7 quantile of the union of two ascending-sorted slices —
+/// bit-identical to `quantile_of_sorted(&merge(a, b), q)` with the merge
+/// elided (two rank selections instead of an `O(n)` copy).
+pub fn quantile_of_sorted_pair(a: &[f64], b: &[f64], q: f64) -> Option<f64> {
+    let len = a.len() + b.len();
+    if len == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let h = q * (len as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Some(select_sorted_pair(a, b, lo));
+    }
+    let frac = h - lo as f64;
+    let xlo = select_sorted_pair(a, b, lo);
+    let xhi = select_sorted_pair(a, b, hi);
+    Some(xlo + frac * (xhi - xlo))
+}
+
 /// Quantile of an unsorted slice, skipping NaNs. `None` when no present
 /// values remain.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
@@ -53,6 +112,37 @@ mod tests {
         assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
         assert_eq!(median(&[f64::NAN]), None);
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn pair_selection_matches_merge() {
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![1.0, 3.0, 5.0], vec![2.0, 4.0, 6.0]),
+            (vec![], vec![1.0, 2.0]),
+            (vec![7.0], vec![]),
+            (vec![1.0, 1.0, 1.0], vec![1.0, 2.0]),
+            (vec![-3.0, 0.0, 0.0, 9.0], vec![-3.0, 12.0]),
+            (vec![f64::NEG_INFINITY, 2.0], vec![2.0, f64::INFINITY]),
+        ];
+        for (a, b) in cases {
+            let mut merged = [a.clone(), b.clone()].concat();
+            merged.sort_by(f64::total_cmp);
+            for (k, expected) in merged.iter().enumerate() {
+                assert_eq!(
+                    select_sorted_pair(&a, &b, k).to_bits(),
+                    expected.to_bits(),
+                    "k={k} a={a:?} b={b:?}"
+                );
+            }
+            for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+                assert_eq!(
+                    quantile_of_sorted_pair(&a, &b, q).map(f64::to_bits),
+                    quantile_of_sorted(&merged, q).map(f64::to_bits),
+                    "q={q} a={a:?} b={b:?}"
+                );
+            }
+        }
+        assert_eq!(quantile_of_sorted_pair(&[], &[], 0.5), None);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use sd_core::{
         budget_tradeoff, cost_sweep, partition_ideal, statistical_distortion, CostSweepConfig,
         DistortionMetric, Experiment, ExperimentConfig, ExperimentResult, StrategyOutcome,
+        TaskExecutor, ThreadPoolExecutor, WindowedConfig, WindowedExperiment, WindowedResult,
     };
     pub use sd_data::{Dataset, NodeId, TimeSeries, Topology};
     pub use sd_emd::{emd, emd_1d_samples, GridEmd, Signature};

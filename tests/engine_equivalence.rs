@@ -1,0 +1,113 @@
+//! Engine regression: the staged `(replication, strategy)`-unit engine
+//! behind [`Experiment::run`] must reproduce the historical
+//! replication-granular runner **bit for bit** for a fixed seed.
+//!
+//! The reference is [`PreparedExperiment::evaluate`], which still scores a
+//! unit the pre-engine way — full dirty-sample clone, per-strategy model
+//! fit, full re-detection, uncached distortion — and is kept exactly for
+//! this cross-check (the figure generators use it too).
+
+use statistical_distortion::core::{PreparedExperiment, SerialExecutor, StrategyOutcome};
+use statistical_distortion::prelude::*;
+
+fn reference_outcomes(
+    prepared: &PreparedExperiment,
+    strategies: &[CompositeStrategy],
+) -> Vec<StrategyOutcome> {
+    let mut outcomes = Vec::new();
+    for i in 0..prepared.config().replications {
+        let artifacts = prepared.replication(i);
+        for (si, s) in strategies.iter().enumerate() {
+            outcomes.push(prepared.evaluate(&artifacts, s, si).unwrap());
+        }
+    }
+    outcomes
+}
+
+fn assert_bit_identical(reference: &[StrategyOutcome], engine: &[StrategyOutcome], label: &str) {
+    assert_eq!(reference.len(), engine.len(), "{label}: outcome count");
+    for (r, e) in reference.iter().zip(engine) {
+        assert_eq!(r.replication, e.replication, "{label}: replication order");
+        assert_eq!(
+            r.strategy_index, e.strategy_index,
+            "{label}: strategy order"
+        );
+        assert_eq!(r.strategy, e.strategy, "{label}: strategy name");
+        assert_eq!(
+            r.improvement.to_bits(),
+            e.improvement.to_bits(),
+            "{label}: improvement of {} rep {}",
+            r.strategy,
+            r.replication
+        );
+        assert_eq!(
+            r.distortion.to_bits(),
+            e.distortion.to_bits(),
+            "{label}: distortion of {} rep {}",
+            r.strategy,
+            r.replication
+        );
+        assert_eq!(r.cleaning, e.cleaning, "{label}: cleaning counters");
+        assert_eq!(
+            r.dirty_report.record_pct, e.dirty_report.record_pct,
+            "{label}: dirty report"
+        );
+        assert_eq!(
+            r.treated_report.record_pct, e.treated_report.record_pct,
+            "{label}: treated report"
+        );
+        assert_eq!(
+            r.treated_report.cell_pct, e.treated_report.cell_pct,
+            "{label}: treated cell report"
+        );
+    }
+}
+
+#[test]
+fn engine_outcomes_are_bit_identical_to_the_reference_runner() {
+    let data = generate(&NetsimConfig::small(131)).dataset;
+    let mut config = ExperimentConfig::paper_default(20, 131);
+    config.replications = 4;
+    let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+
+    let experiment = Experiment::new(config.clone());
+    let prepared = experiment.prepare(&data).unwrap();
+    let reference = reference_outcomes(&prepared, &strategies);
+
+    for threads in [1usize, 2] {
+        let mut c = config.clone();
+        c.threads = threads;
+        let engine = Experiment::new(c).run(&data, &strategies).unwrap();
+        assert_bit_identical(&reference, engine.outcomes(), &format!("threads={threads}"));
+    }
+
+    // And on the serial executor, which exercises the same staged path
+    // without any scheduling at all.
+    let serial = experiment
+        .run_with(&data, &strategies, &SerialExecutor)
+        .unwrap();
+    assert_bit_identical(&reference, serial.outcomes(), "serial executor");
+}
+
+#[test]
+fn engine_equivalence_holds_without_the_log_factor_and_across_metrics() {
+    let data = generate(&NetsimConfig::small(17)).dataset;
+    for (log, metric) in [
+        (false, DistortionMetric::paper_default()),
+        (true, DistortionMetric::KlDivergence { bins: 8 }),
+        (true, DistortionMetric::Mahalanobis),
+    ] {
+        let mut config = ExperimentConfig::paper_default(15, 23);
+        config.replications = 2;
+        config.log_transform_attr1 = log;
+        config.metric = metric;
+        config.threads = 2;
+        let strategies = [paper_strategy(1), paper_strategy(4)];
+
+        let experiment = Experiment::new(config);
+        let prepared = experiment.prepare(&data).unwrap();
+        let reference = reference_outcomes(&prepared, &strategies);
+        let engine = experiment.run(&data, &strategies).unwrap();
+        assert_bit_identical(&reference, engine.outcomes(), &format!("{metric:?}"));
+    }
+}

@@ -204,3 +204,125 @@ proptest! {
         prop_assert!((ab + ba).abs() < 1e-12);
     }
 }
+
+/// Builds a random cleaning scenario: correlated two-attribute telemetry
+/// with injected missing cells, negative inconsistencies, and spikes, plus
+/// the calibrated detector/context the strategies need.
+fn cleaning_fixture(
+    seed: u64,
+) -> (
+    statistical_distortion::data::Dataset,
+    Vec<GlitchMatrix>,
+    statistical_distortion::cleaning::CleaningContext,
+) {
+    use rand::Rng;
+    use statistical_distortion::cleaning::CleaningContext;
+    use statistical_distortion::data::{Dataset, NodeId, TimeSeries};
+    use statistical_distortion::glitch::{
+        Constraint, ConstraintSet, GlitchDetector, OutlierDetector,
+    };
+    use statistical_distortion::stats::AttributeTransform;
+
+    let mut rng = proptest::seed_for("cleaning_fixture", seed);
+    let transforms = [AttributeTransform::Identity, AttributeTransform::Identity];
+
+    let mut ideal_series = TimeSeries::new(NodeId::new(0, 0, 0), 2, 40);
+    for t in 0..40 {
+        let x = 100.0 + rng.gen_range(-5.0..5.0);
+        ideal_series.set(0, t, x);
+        ideal_series.set(1, t, 0.5 * x + rng.gen_range(-1.0..1.0));
+    }
+    let ideal = Dataset::new(vec!["a", "b"], vec![ideal_series]).unwrap();
+
+    let num_series = 1 + (seed as usize % 3);
+    let mut series = Vec::new();
+    for i in 0..num_series {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 1 + i as u32), 2, 40);
+        for t in 0..40 {
+            let x = 100.0 + rng.gen_range(-5.0..5.0);
+            s.set(0, t, x);
+            s.set(1, t, 0.5 * x + rng.gen_range(-1.0..1.0));
+        }
+        // Inject glitches at random cells.
+        for _ in 0..rng.gen_range(0..8usize) {
+            let (a, t) = (rng.gen_range(0..2usize), rng.gen_range(0..40usize));
+            match rng.gen_range(0..3u32) {
+                0 => s.set_missing(a, t),
+                1 => s.set(0, t, -rng.gen_range(1.0f64..50.0)), // inconsistent
+                _ => s.set(a, t, 2000.0 + rng.gen_range(0.0f64..100.0)), // spike
+            }
+        }
+        series.push(s);
+    }
+    let dirty = Dataset::new(vec!["a", "b"], series).unwrap();
+
+    let detector = GlitchDetector::new(
+        ConstraintSet::new(vec![Constraint::NonNegative { attr: 0 }]),
+        Some(OutlierDetector::fit(&ideal, &transforms, 3.0)),
+    );
+    let glitches = detector.detect_dataset(&dirty);
+    let ctx = CleaningContext::fit(&ideal, &transforms, 3.0);
+    (dirty, glitches, ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine's cell-patch cleaning must equal the full-clone in-place
+    /// cleaning for random data and random strategies: same outcome
+    /// counters, and the materialized copy-on-write view (and its replayed
+    /// patch) bit-identical to the in-place result.
+    #[test]
+    fn cell_patch_view_equals_full_clone_clean(
+        seed in 0u64..10_000,
+        missing_kind in 0u32..3,
+        outlier_kind in 0u32..2,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use statistical_distortion::cleaning::{
+            CompositeStrategy, MissingTreatment, OutlierTreatment,
+        };
+
+        let (dirty, glitches, ctx) = cleaning_fixture(seed);
+        let strategy = CompositeStrategy::new(
+            match missing_kind {
+                0 => MissingTreatment::Ignore,
+                1 => MissingTreatment::MeanImpute,
+                _ => MissingTreatment::ModelImpute,
+            },
+            if outlier_kind == 0 {
+                OutlierTreatment::Ignore
+            } else {
+                OutlierTreatment::Winsorize
+            },
+        );
+
+        let mut in_place = dirty.clone();
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let out_a = {
+            use statistical_distortion::cleaning::CleaningStrategy;
+            strategy.clean(&mut in_place, &glitches, &ctx, &mut rng_a)
+        };
+
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let (view, out_b) = strategy.clean_patch(&dirty, &glitches, &ctx, &mut rng_b, None);
+
+        prop_assert_eq!(out_a, out_b, "cleaning counters diverge");
+        prop_assert!(
+            view.to_dataset().same_data(&in_place),
+            "materialized view diverges from in-place clean"
+        );
+        prop_assert!(
+            view.patch().apply_to(&dirty).same_data(&in_place),
+            "replayed patch diverges from in-place clean"
+        );
+        // Untouched series must stay borrows of the base (no silent clones).
+        for i in 0..dirty.num_series() {
+            prop_assert_eq!(view.is_patched(i), view.patch().is_touched(i));
+            if !view.is_patched(i) {
+                prop_assert!(dirty.series_at(i).same_data(view.series_at(i)));
+            }
+        }
+    }
+}
