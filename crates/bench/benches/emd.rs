@@ -41,6 +41,9 @@ fn bench_solvers(c: &mut Criterion) {
                 BatchSize::LargeInput,
             );
         });
+        // Test-only cross-validator (see `sd_emd::MinCostFlow`, ~23×
+        // slower than the simplex at n = 128); benched to keep that gap
+        // on the record.
         group.bench_with_input(BenchmarkId::new("flow", size), &size, |bench, _| {
             bench.iter_batched(
                 || (s.clone(), d.clone(), cost.clone()),

@@ -32,7 +32,7 @@ fn main() {
         let config = CostSweepConfig {
             experiment,
             fractions: fractions.clone(),
-            strategy: paper_strategy(1),
+            strategies: vec![paper_strategy(1)],
         };
         let points = cost_sweep(&data, &config).expect("cost sweep");
 

@@ -26,7 +26,7 @@
 use sd_bench::synth::{grid_cloud_pair, transport_instance};
 use sd_bench::{HarnessConfig, Scale};
 use sd_cleaning::paper_strategy;
-use sd_core::{Experiment, ExperimentConfig};
+use sd_core::{cost_sweep, cost_sweep_reference, CostSweepConfig, Experiment, ExperimentConfig};
 use sd_emd::{sinkhorn, GridEmd, MinCostFlow, SinkhornParams, TransportProblem};
 use sd_netsim::{generate, NetsimConfig};
 use serde_json::{json, Value};
@@ -72,6 +72,9 @@ fn main() {
             |(s, d, c)| TransportProblem::new(s, d, c).unwrap().solve().unwrap(),
         );
         record("simplex", size, us);
+        // Test-only cross-validator (see `sd_emd::MinCostFlow`): tracked
+        // here so its ~23× gap to the simplex at n = 128 stays visible,
+        // not because anything hot calls it.
         let us = measure(
             iters,
             || (s.clone(), d.clone(), cost.clone()),
@@ -196,6 +199,48 @@ fn main() {
             },
         ) / units;
         record("replication_ref", config.sample_size, us);
+    }
+
+    // Cost-sweep unit: one (replication × strategy × budget fraction)
+    // point of the Figure 7 study. The engine row drains the sweep through
+    // the staged work queue (shared replication artifacts, one dirty-side
+    // signature cache per replication, per-budget shared ModelFit across
+    // the model-imputing strategies, patch cleaning); the `_ref` row is
+    // the preserved replication-granular path (full clone, full redetect,
+    // materialized distortion, per-point model fit) in the same run, so
+    // the engine speedup stays measurable PR-over-PR.
+    {
+        let reps = match harness.scale {
+            Scale::Small => 2,
+            Scale::Harness => 6,
+            Scale::Paper => 15,
+        };
+        let mut sweep_experiment = config.clone();
+        sweep_experiment.replications = reps;
+        let sweep = CostSweepConfig {
+            experiment: sweep_experiment,
+            fractions: vec![0.0, 0.2, 0.5, 1.0],
+            strategies: vec![paper_strategy(1), paper_strategy(2)],
+        };
+        let units = (reps * sweep.strategies.len() * sweep.fractions.len()) as f64;
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let points = cost_sweep(black_box(&data), &sweep).unwrap();
+                points.len() as f64
+            },
+        ) / units;
+        record("cost_sweep", config.sample_size, us);
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let points = cost_sweep_reference(black_box(&data), &sweep).unwrap();
+                points.len() as f64
+            },
+        ) / units;
+        record("cost_sweep_ref", config.sample_size, us);
     }
 
     harness.write_json(

@@ -1,6 +1,6 @@
-use crate::{CleaningContext, CleaningOutcome, CompositeStrategy};
+use crate::{CleaningContext, CleaningOutcome, CompositeStrategy, ModelFit};
 use rand::RngCore;
-use sd_data::Dataset;
+use sd_data::{CleanedView, Dataset};
 use sd_glitch::{GlitchIndex, GlitchMatrix};
 
 /// Cost-proxy partial cleaning (§5.2): rank every series by its normalized
@@ -41,9 +41,16 @@ impl PartialCleaner {
 
     /// Which series a pass over `glitches` would clean (dirtiest first).
     pub fn select(&self, glitches: &[GlitchMatrix]) -> Vec<usize> {
-        let ranked = self.index.rank_dirtiest(glitches);
+        self.select_from_ranked(&self.index.rank_dirtiest(glitches))
+    }
+
+    /// Like [`PartialCleaner::select`], but over a precomputed
+    /// dirtiest-first ranking ([`GlitchIndex::rank_dirtiest`]) — the cost
+    /// sweep ranks each replication once and derives every budget
+    /// fraction's selection as a prefix of that one ranking.
+    pub fn select_from_ranked(&self, ranked: &[usize]) -> Vec<usize> {
         let count = (self.fraction * ranked.len() as f64).round() as usize;
-        ranked.into_iter().take(count).collect()
+        ranked[..count].to_vec()
     }
 
     /// Cleans the dirtiest `fraction` of series with `strategy`.
@@ -65,6 +72,43 @@ impl PartialCleaner {
             cleaned_indices,
             outcome,
         }
+    }
+
+    /// Patch-recording variant of [`PartialCleaner::clean`]: cleans the
+    /// dirtiest `fraction` of series against the borrowed `base`, returning
+    /// a copy-on-write [`CleanedView`] (see
+    /// [`CompositeStrategy::clean_patch_filtered`]). Bit-identical to
+    /// [`PartialCleaner::clean`] on a clone of `base` for the same RNG
+    /// state; `model` optionally supplies a mask-matched pre-fitted
+    /// [`ModelFit`].
+    ///
+    /// This ranks `glitches` on every call. A caller evaluating many
+    /// fractions over one ranking (the engine cost sweep) should instead
+    /// rank once, derive masks via [`PartialCleaner::select_from_ranked`],
+    /// and call [`CompositeStrategy::clean_patch_filtered`] directly.
+    pub fn clean_patch<'a>(
+        &self,
+        base: &'a Dataset,
+        glitches: &[GlitchMatrix],
+        strategy: &CompositeStrategy,
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+        model: Option<&ModelFit>,
+    ) -> (CleanedView<'a>, PartialOutcome) {
+        let cleaned_indices = self.select(glitches);
+        let mut mask = vec![false; base.num_series()];
+        for &i in &cleaned_indices {
+            mask[i] = true;
+        }
+        let (view, outcome) =
+            strategy.clean_patch_filtered(base, glitches, ctx, rng, Some(&mask), model);
+        (
+            view,
+            PartialOutcome {
+                cleaned_indices,
+                outcome,
+            },
+        )
     }
 }
 
@@ -146,6 +190,32 @@ mod tests {
         assert_eq!(pc.fraction(), 1.0);
         let pc = PartialCleaner::new(GlitchIndex::default(), -0.5);
         assert_eq!(pc.fraction(), 0.0);
+    }
+
+    #[test]
+    fn patch_path_matches_in_place_partial_cleaning() {
+        // Same RNG seed, same mask: the materialized copy-on-write view
+        // must equal the in-place result bit for bit (the cost sweep's
+        // engine/reference bit-identity rests on this).
+        for strategy in [paper_strategy(1), paper_strategy(4), paper_strategy(5)] {
+            let mut in_place = dataset();
+            let ctx = context(&in_place);
+            let pc = PartialCleaner::new(GlitchIndex::new(GlitchWeights::uniform()), 2.0 / 3.0);
+            let mut rng = StdRng::seed_from_u64(77);
+            let out_a = pc.clean(&mut in_place, &matrices(), &strategy, &ctx, &mut rng);
+
+            let base = dataset();
+            let mut rng = StdRng::seed_from_u64(77);
+            let (view, out_b) = pc.clean_patch(&base, &matrices(), &strategy, &ctx, &mut rng, None);
+            assert_eq!(out_a.cleaned_indices, out_b.cleaned_indices);
+            assert_eq!(out_a.outcome, out_b.outcome);
+            for i in 0..base.num_series() {
+                assert!(
+                    view.series_at(i).same_data(&in_place.series()[i]),
+                    "series {i} diverged under {strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -320,20 +320,46 @@ impl CompositeStrategy {
         rng: &mut dyn RngCore,
         model: Option<&ModelFit>,
     ) -> (CleanedView<'a>, CleaningOutcome) {
+        self.clean_patch_filtered(base, glitches, ctx, rng, None, model)
+    }
+
+    /// Patch-recording variant of [`CompositeStrategy::clean_filtered`]:
+    /// cleans only the series where `mask` is `true`, recording touched
+    /// cells against the borrowed `base` exactly like
+    /// [`CompositeStrategy::clean_patch`].
+    ///
+    /// When the strategy model-imputes and no pre-fitted `model` is
+    /// supplied, the fit runs here **on the masked series** — matching
+    /// `clean_filtered`, whose imputation model sees only the data the
+    /// strategy was handed. A caller sharing a [`ModelFit`] across calls
+    /// must therefore key it by mask (the cost sweep shares per budget
+    /// fraction), or the paths diverge.
+    pub fn clean_patch_filtered<'a>(
+        &self,
+        base: &'a Dataset,
+        glitches: &[GlitchMatrix],
+        ctx: &CleaningContext,
+        rng: &mut dyn RngCore,
+        mask: Option<&[bool]>,
+        model: Option<&ModelFit>,
+    ) -> (CleanedView<'a>, CleaningOutcome) {
         assert_eq!(
             base.num_series(),
             glitches.len(),
             "glitch annotations must align with series"
         );
+        if let Some(m) = mask {
+            assert_eq!(m.len(), base.num_series(), "mask must align with series");
+        }
         let fitted;
         let model = if self.missing == MissingTreatment::ModelImpute && model.is_none() {
-            fitted = ModelFit::fit(base, glitches, ctx, None);
+            fitted = ModelFit::fit(base, glitches, ctx, mask);
             Some(&fitted)
         } else {
             model
         };
         let mut store = PatchStore::new(base);
-        let outcome = self.clean_in(&mut store, glitches, ctx, rng, None, model);
+        let outcome = self.clean_in(&mut store, glitches, ctx, rng, mask, model);
         (store.into_view(), outcome)
     }
 

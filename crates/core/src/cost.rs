@@ -1,9 +1,51 @@
-use crate::{statistical_distortion, Experiment, ExperimentConfig, Result};
+//! The §5.2 / Figure 7 cost–benefit study, run as a first-class engine
+//! workload.
+//!
+//! The paper's cost axis is the fraction of data cleaned: "We ranked each
+//! time series according to its aggregated and normalized glitch score,
+//! and cleaned the data from the highest glitch score, until a
+//! pre-determined proportion of the data was cleaned." The sweep evaluates
+//! a grid of `(replication, strategy, budget fraction)` points; every
+//! point of one replication shares the same test pair, detector fit,
+//! dirty annotations, and dirty-side EMD state, so the sweep runs on the
+//! staged engine ([`crate::engine`]) with groups = replications and
+//! `S × F` budget units per group:
+//!
+//! * [`crate::ReplicationArtifacts`] and the dirty sample's pooled rows +
+//!   signature cache are built by the first unit of the replication and
+//!   shared via the engine's `Arc` group slots — the dirty side of every
+//!   distortion evaluation is sorted/binned once per replication instead
+//!   of once per budget point;
+//! * the dirtiest-first series ranking is computed once per replication
+//!   (it depends only on the dirty annotations), and each fraction's
+//!   selection mask is derived from that one ranking;
+//! * the MVN imputation model is fitted at most once per `(replication,
+//!   fraction)` and shared across model-imputing strategies at that
+//!   budget. It cannot be shared *across* fractions: the model is fitted
+//!   on exactly the masked series (`PROC MI` sees only the data handed to
+//!   it), so the fit is a function of the budget;
+//! * cleaning runs through the cell-patch path
+//!   ([`sd_cleaning::CompositeStrategy::clean_patch_filtered`], handed
+//!   the precomputed per-fraction mask directly), so only touched series
+//!   are cloned and re-detected.
+//!
+//! [`cost_sweep`] is bit-identical to [`cost_sweep_reference`] — the
+//! preserved replication-granular path (full clone, in-place cleaning,
+//! full re-detection, materialized distortion) kept in-tree so the
+//! equivalence stays enforceable ([`tests`] and `tests/end_to_end.rs`)
+//! and the speedup stays measurable (the perf bin's `cost_sweep` /
+//! `cost_sweep_ref` rows).
+
+use crate::engine::{run_staged, score_view, share_replication, SharedReplication, TaskExecutor};
+use crate::{statistical_distortion, Experiment, ExperimentConfig, Result, ThreadPoolExecutor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sd_cleaning::{CompositeStrategy, PartialCleaner};
+use sd_cleaning::{
+    CleaningStrategy, CompositeStrategy, MissingTreatment, ModelFit, PartialCleaner,
+};
 use sd_data::Dataset;
 use sd_glitch::{GlitchIndex, GlitchReport};
+use std::sync::OnceLock;
 
 /// Configuration of the §5.2 / Figure 7 cost study.
 #[derive(Debug, Clone)]
@@ -12,18 +54,22 @@ pub struct CostSweepConfig {
     pub experiment: ExperimentConfig,
     /// Fractions of series to clean, e.g. `[0.0, 0.2, 0.5, 1.0]`.
     pub fractions: Vec<f64>,
-    /// The strategy applied to the selected series (the paper uses
-    /// Strategy 1: winsorize + impute).
-    pub strategy: CompositeStrategy,
+    /// The strategies applied to the selected series (the paper's Figure 7
+    /// uses Strategy 1 alone: winsorize + impute).
+    pub strategies: Vec<CompositeStrategy>,
 }
 
-/// One `(fraction, replication)` point of Figure 7.
+/// One `(fraction, strategy, replication)` point of Figure 7.
 #[derive(Debug, Clone)]
 pub struct CostPoint {
     /// Fraction of series cleaned (the cost proxy).
     pub fraction: f64,
     /// Replication number.
     pub replication: usize,
+    /// Strategy display name.
+    pub strategy: String,
+    /// Index of the strategy in the submitted list.
+    pub strategy_index: usize,
     /// Glitch improvement.
     pub improvement: f64,
     /// Statistical distortion.
@@ -34,13 +80,141 @@ pub struct CostPoint {
     pub treated_report: GlitchReport,
 }
 
-/// Runs the cost sweep: for each replication and each fraction, clean the
-/// dirtiest `fraction` of series and score the result.
+/// RNG stream of one `(replication, strategy, fraction)` unit. The
+/// `strategy` term vanishes for strategy index 0, so single-strategy
+/// sweeps reproduce the historical derivation bit for bit.
+fn unit_seed(seed: u64, replication: usize, strategy_index: usize, fraction_index: usize) -> u64 {
+    seed ^ ((replication as u64) << 24)
+        ^ ((strategy_index as u64) << 44)
+        ^ ((fraction_index as u64) << 52)
+}
+
+/// Everything one replication's budget units share, behind the engine's
+/// group slot.
+struct SharedSweep {
+    shared: SharedReplication,
+    /// Per fraction: `(selected series, mask)`, derived from one
+    /// dirtiest-first ranking of the replication's annotations.
+    selections: Vec<(Vec<usize>, Vec<bool>)>,
+    /// Per fraction: the lazily fitted mask-matched imputation model,
+    /// shared across the model-imputing strategies at that budget.
+    models: Vec<OnceLock<ModelFit>>,
+}
+
+/// Runs the cost sweep on the staged engine: for each replication, each
+/// strategy, and each fraction, clean the dirtiest `fraction` of series
+/// and score the result. Bit-identical to [`cost_sweep_reference`].
 ///
-/// "We ranked each time series according to its aggregated and normalized
-/// glitch score, and cleaned the data from the highest glitch score, until
-/// a pre-determined proportion of the data was cleaned."
+/// Points come back replication-major, then strategy, then fraction.
 pub fn cost_sweep(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPoint>> {
+    cost_sweep_with(
+        data,
+        config,
+        &ThreadPoolExecutor::new(config.experiment.threads),
+    )
+}
+
+/// Like [`cost_sweep`], on a caller-supplied executor.
+pub fn cost_sweep_with<E: TaskExecutor>(
+    data: &Dataset,
+    config: &CostSweepConfig,
+    executor: &E,
+) -> Result<Vec<CostPoint>> {
+    let experiment = Experiment::new(config.experiment.clone());
+    let prepared = experiment.prepare(data)?;
+    let transforms = prepared.transforms();
+    let index = GlitchIndex::new(config.experiment.weights);
+    let nf = config.fractions.len();
+
+    let unit_results = run_staged(
+        executor,
+        config.experiment.replications,
+        config.strategies.len() * nf,
+        |r| {
+            let shared = share_replication(prepared.replication(r), transforms);
+            // One dirtiest-first ranking per replication; every fraction's
+            // selection is a prefix of it.
+            let ranked = index.rank_dirtiest(&shared.artifacts.dirty_matrices);
+            let selections = config
+                .fractions
+                .iter()
+                .map(|&fraction| {
+                    let selected = PartialCleaner::new(index, fraction).select_from_ranked(&ranked);
+                    let mut mask = vec![false; shared.artifacts.dirty.num_series()];
+                    for &i in &selected {
+                        mask[i] = true;
+                    }
+                    (selected, mask)
+                })
+                .collect();
+            SharedSweep {
+                shared,
+                selections,
+                models: (0..nf).map(|_| OnceLock::new()).collect(),
+            }
+        },
+        |sw, r, u| -> Result<CostPoint> {
+            let (si, fi) = (u / nf, u % nf);
+            let strategy = &config.strategies[si];
+            let (selected, mask) = &sw.selections[fi];
+            let artifacts = &sw.shared.artifacts;
+            let model = if strategy.missing_treatment() == MissingTreatment::ModelImpute {
+                Some(sw.models[fi].get_or_init(|| {
+                    ModelFit::fit(
+                        &artifacts.dirty,
+                        &artifacts.dirty_matrices,
+                        &artifacts.context,
+                        Some(mask),
+                    )
+                }))
+            } else {
+                None
+            };
+            let mut rng = StdRng::seed_from_u64(unit_seed(config.experiment.seed, r, si, fi));
+            let (view, _) = strategy.clean_patch_filtered(
+                &artifacts.dirty,
+                &artifacts.dirty_matrices,
+                &artifacts.context,
+                &mut rng,
+                Some(mask),
+                model,
+            );
+            let (improvement, distortion, treated_report) = score_view(
+                &sw.shared,
+                transforms,
+                config.experiment.metric,
+                config.experiment.weights,
+                &view,
+            )?;
+            Ok(CostPoint {
+                fraction: config.fractions[fi],
+                replication: r,
+                strategy: strategy.name(),
+                strategy_index: si,
+                improvement,
+                distortion,
+                series_cleaned: selected.len(),
+                treated_report,
+            })
+        },
+    );
+
+    let mut out = Vec::with_capacity(unit_results.len());
+    for point in unit_results {
+        out.push(point?);
+    }
+    Ok(out)
+}
+
+/// The preserved replication-granular reference path: one task per
+/// replication, serially evaluating every `(strategy, fraction)` point
+/// with a full clone of the dirty sample, in-place partial cleaning, full
+/// re-detection, and materialized distortion.
+///
+/// Kept in-tree as [`cost_sweep`]'s bit-identity oracle — it shares no
+/// engine machinery beyond [`crate::ReplicationArtifacts`] itself — and as
+/// the baseline the perf bin's `cost_sweep_ref` row measures.
+pub fn cost_sweep_reference(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPoint>> {
     let experiment = Experiment::new(config.experiment.clone());
     let prepared = experiment.prepare(data)?;
     let index = GlitchIndex::new(config.experiment.weights);
@@ -50,38 +224,42 @@ pub fn cost_sweep(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPo
         config.experiment.threads,
         |i| -> Result<Vec<CostPoint>> {
             let artifacts = prepared.replication(i);
-            let mut points = Vec::with_capacity(config.fractions.len());
-            for (fi, &fraction) in config.fractions.iter().enumerate() {
-                let cleaner = PartialCleaner::new(index, fraction);
-                let mut cleaned = artifacts.dirty.clone();
-                let mut rng = StdRng::seed_from_u64(
-                    config.experiment.seed ^ ((i as u64) << 24) ^ ((fi as u64) << 52),
-                );
-                let partial = cleaner.clean(
-                    &mut cleaned,
-                    &artifacts.dirty_matrices,
-                    &config.strategy,
-                    &artifacts.context,
-                    &mut rng,
-                );
-                let treated_matrices = artifacts.redetect(&cleaned);
-                let improvement = index.improvement(&artifacts.dirty_matrices, &treated_matrices);
-                // Working-space distortion, matching
-                // `PreparedExperiment::evaluate`.
-                let distortion = statistical_distortion(
-                    &artifacts.dirty,
-                    &cleaned,
-                    prepared.transforms(),
-                    config.experiment.metric,
-                )?;
-                points.push(CostPoint {
-                    fraction,
-                    replication: i,
-                    improvement,
-                    distortion,
-                    series_cleaned: partial.cleaned_indices.len(),
-                    treated_report: GlitchReport::from_matrices(&treated_matrices),
-                });
+            let mut points = Vec::with_capacity(config.strategies.len() * config.fractions.len());
+            for (si, strategy) in config.strategies.iter().enumerate() {
+                for (fi, &fraction) in config.fractions.iter().enumerate() {
+                    let cleaner = PartialCleaner::new(index, fraction);
+                    let mut cleaned = artifacts.dirty.clone();
+                    let mut rng =
+                        StdRng::seed_from_u64(unit_seed(config.experiment.seed, i, si, fi));
+                    let partial = cleaner.clean(
+                        &mut cleaned,
+                        &artifacts.dirty_matrices,
+                        strategy,
+                        &artifacts.context,
+                        &mut rng,
+                    );
+                    let treated_matrices = artifacts.redetect(&cleaned);
+                    let improvement =
+                        index.improvement(&artifacts.dirty_matrices, &treated_matrices);
+                    // Working-space distortion, matching
+                    // `PreparedExperiment::evaluate`.
+                    let distortion = statistical_distortion(
+                        &artifacts.dirty,
+                        &cleaned,
+                        prepared.transforms(),
+                        config.experiment.metric,
+                    )?;
+                    points.push(CostPoint {
+                        fraction,
+                        replication: i,
+                        strategy: strategy.name(),
+                        strategy_index: si,
+                        improvement,
+                        distortion,
+                        series_cleaned: partial.cleaned_indices.len(),
+                        treated_report: GlitchReport::from_matrices(&treated_matrices),
+                    });
+                }
             }
             Ok(points)
         },
@@ -97,6 +275,7 @@ pub fn cost_sweep(data: &Dataset, config: &CostSweepConfig) -> Result<Vec<CostPo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SerialExecutor;
     use sd_cleaning::paper_strategy;
     use sd_netsim::{generate, NetsimConfig};
 
@@ -107,7 +286,7 @@ mod tests {
         CostSweepConfig {
             experiment,
             fractions: vec![0.0, 0.5, 1.0],
-            strategy: paper_strategy(1),
+            strategies: vec![paper_strategy(1)],
         }
     }
 
@@ -115,7 +294,7 @@ mod tests {
     fn sweep_produces_all_points() {
         let data = generate(&NetsimConfig::small(9)).dataset;
         let points = cost_sweep(&data, &sweep_config()).unwrap();
-        assert_eq!(points.len(), 9); // 3 replications × 3 fractions
+        assert_eq!(points.len(), 9); // 3 replications × 1 strategy × 3 fractions
     }
 
     #[test]
@@ -142,6 +321,61 @@ mod tests {
             assert!(f50.improvement >= f0.improvement);
             assert!(f100.improvement >= f50.improvement * 0.99);
             assert!(f100.series_cleaned > f50.series_cleaned);
+        }
+    }
+
+    #[test]
+    fn engine_sweep_is_bit_identical_to_reference() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        // Two model-imputing strategies (exercising the shared per-budget
+        // ModelFit) plus a mean-replace one, across executors.
+        let mut config = sweep_config();
+        config.strategies = vec![paper_strategy(1), paper_strategy(2), paper_strategy(5)];
+        let reference = cost_sweep_reference(&data, &config).unwrap();
+        let engine = cost_sweep(&data, &config).unwrap();
+        let serial = cost_sweep_with(&data, &config, &SerialExecutor).unwrap();
+        assert_eq!(reference.len(), engine.len());
+        assert_eq!(reference.len(), serial.len());
+        for (a, b) in reference
+            .iter()
+            .zip(&engine)
+            .chain(reference.iter().zip(&serial))
+        {
+            assert_eq!(a.fraction, b.fraction);
+            assert_eq!(a.replication, b.replication);
+            assert_eq!(a.strategy_index, b.strategy_index);
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.series_cleaned, b.series_cleaned);
+            assert_eq!(
+                a.improvement.to_bits(),
+                b.improvement.to_bits(),
+                "improvement diverged at r={} s={} f={}",
+                a.replication,
+                a.strategy_index,
+                a.fraction
+            );
+            assert_eq!(
+                a.distortion.to_bits(),
+                b.distortion.to_bits(),
+                "distortion diverged at r={} s={} f={}",
+                a.replication,
+                a.strategy_index,
+                a.fraction
+            );
+            assert_eq!(a.treated_report, b.treated_report);
+        }
+    }
+
+    #[test]
+    fn multi_strategy_sweep_orders_points_strategy_major() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        let mut config = sweep_config();
+        config.strategies = vec![paper_strategy(5), paper_strategy(3)];
+        let points = cost_sweep(&data, &config).unwrap();
+        assert_eq!(points.len(), 3 * 2 * 3);
+        for (k, p) in points.iter().enumerate() {
+            assert_eq!(p.replication, k / 6);
+            assert_eq!(p.strategy_index, (k / 3) % 2);
         }
     }
 }

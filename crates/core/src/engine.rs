@@ -65,6 +65,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningStrategy, CompositeStrategy, MissingTreatment, ModelFit};
+use sd_data::CleanedView;
 use sd_emd::SignatureCache;
 use sd_glitch::{GlitchIndex, GlitchMatrix, GlitchReport, GlitchWeights};
 use sd_stats::AttributeTransform;
@@ -269,7 +270,36 @@ pub(crate) fn evaluate_unit(
         &mut rng,
         model,
     );
+    let (improvement, distortion, treated_report) =
+        score_view(shared, transforms, metric, weights, &view)?;
 
+    Ok(StrategyOutcome {
+        strategy: strategy.name(),
+        strategy_index,
+        replication: group,
+        improvement,
+        distortion,
+        dirty_report: shared.dirty_report.clone(),
+        treated_report,
+        cleaning,
+    })
+}
+
+/// Scores one cleaned [`CleanedView`] against its replication's shared
+/// state: incremental re-detection on touched series, glitch improvement,
+/// and signature-cached patched distortion. Returns
+/// `(improvement, distortion, treated report)`.
+///
+/// Shared by the batch/windowed strategy units and the cost-sweep budget
+/// units — every engine workload scores through this one path.
+pub(crate) fn score_view(
+    shared: &SharedReplication,
+    transforms: &[AttributeTransform],
+    metric: DistortionMetric,
+    weights: GlitchWeights,
+    view: &CleanedView<'_>,
+) -> Result<(f64, f64, GlitchReport)> {
+    let artifacts = &shared.artifacts;
     // Re-detect only touched series; untouched series keep their dirty
     // annotations (detection is a pure per-series function).
     let treated_matrices: Vec<GlitchMatrix> = (0..view.num_series())
@@ -303,17 +333,11 @@ pub(crate) fn evaluate_unit(
         }
     }
     let distortion = distortion_patched(&shared.cache, row_edits, metric)?;
-
-    Ok(StrategyOutcome {
-        strategy: strategy.name(),
-        strategy_index,
-        replication: group,
+    Ok((
         improvement,
         distortion,
-        dirty_report: shared.dirty_report.clone(),
-        treated_report: GlitchReport::from_matrices(&treated_matrices),
-        cleaning,
-    })
+        GlitchReport::from_matrices(&treated_matrices),
+    ))
 }
 
 /// Runs the full batch protocol on the staged engine: a work queue of

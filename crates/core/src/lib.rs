@@ -19,8 +19,9 @@
 //! ideal partition (< 5 % of each glitch type), draw `R` replication test
 //! pairs of `B` series each, calibrate detectors and cleaning context on
 //! the ideal sample, clean with each candidate strategy, and score every
-//! `(strategy, replication)` pair. [`tables`] and [`figures`] produce the
-//! exact data behind Table 1 and Figures 2–7.
+//! `(strategy, replication)` pair. [`table1`] and the `figure*` helpers
+//! ([`figure3_series`], [`figure6_points`], …) produce the exact data
+//! behind Table 1 and Figures 2–7.
 //!
 //! ```
 //! use sd_core::{Experiment, ExperimentConfig};
@@ -46,6 +47,7 @@
 // Index-based loops are the clearer idiom in the dense numeric kernels
 // of this crate.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 mod budget;
 mod cost;
@@ -60,7 +62,7 @@ mod tables;
 pub mod windowed;
 
 pub use budget::{budget_tradeoff, BudgetPoint, BudgetScenario};
-pub use cost::{cost_sweep, CostPoint, CostSweepConfig};
+pub use cost::{cost_sweep, cost_sweep_reference, cost_sweep_with, CostPoint, CostSweepConfig};
 pub use distortion::{statistical_distortion, DistortionMetric};
 pub use engine::{run_staged, SerialExecutor, TaskExecutor, ThreadPoolExecutor};
 pub use error::FrameworkError;
@@ -75,7 +77,10 @@ pub use figures::{
 pub use ideal::{partition_ideal, IdealPartition};
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};
-pub use windowed::{WindowOutcome, WindowedConfig, WindowedExperiment, WindowedResult};
+pub use windowed::{
+    NeighborPooling, WindowOutcome, WindowScreen, WindowedConfig, WindowedExperiment,
+    WindowedResult,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, FrameworkError>;

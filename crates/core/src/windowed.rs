@@ -21,19 +21,76 @@
 //! 3. the window slice is annotated, cleaned by each strategy, re-detected,
 //!    and scored exactly like a batch replication (shared artifacts,
 //!    cell-patch cleaning, cached EMD signatures).
+//!
+//! # Topology neighbour pooling
+//!
+//! The paper's full online form is `f_O(X^t | X^{F^w_t}, X^{F^w_t}_N)`:
+//! the screen may condition on the history of *neighbouring towers*, not
+//! just the sector's own past. [`NeighborPooling`] selects how that
+//! neighbourhood is assembled from a [`Topology`] ([`WindowedConfig::topology`]):
+//! own-history only (the default, bit-identical to the pre-topology
+//! behaviour), equal-weight `k`-hop pooling (1 = same tower, 2 = same RNC),
+//! or distance-weighted pooling. Neighbour lookups are resolved once per
+//! run; the per-window screen results are recorded as [`WindowScreen`]
+//! rows so per-node trajectories stay observable (and testable for
+//! bit-identity across thread counts).
 
 use crate::engine::{evaluate_unit, run_staged, share_replication, TaskExecutor};
 use crate::{
     DistortionMetric, FrameworkError, ReplicationArtifacts, Result, StrategyOutcome,
     ThreadPoolExecutor,
 };
+use parking_lot::Mutex;
 use sd_cleaning::{CleaningContext, CleaningOutcome, CompositeStrategy};
-use sd_data::Dataset;
+use sd_data::{Dataset, TimeSeries, Topology};
 use sd_glitch::{
     ConstraintSet, GlitchDetector, GlitchReport, GlitchWeights, OutlierDetector,
     WindowedOutlierDetector,
 };
 use sd_stats::AttributeTransform;
+
+/// How the streaming screen pools history across the network topology
+/// (§3.3's neighbour conditioning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NeighborPooling {
+    /// Screen every sector against its own history only. This is the
+    /// default and is bit-identical to the pre-topology windowed mode.
+    OwnOnly,
+    /// Pool the history of every sector within `hops` of the screened one
+    /// at equal weight: 1 = collocated sectors (same tower), 2 = every
+    /// sector under the same RNC, ≥ 3 = the whole network.
+    KHop {
+        /// Neighbourhood radius in [`Topology::hop_distance`] units.
+        hops: u32,
+    },
+    /// Distance-weighted pooling: own history at weight 1, collocated
+    /// (same-tower) sectors at `tower`, same-RNC sectors at `rnc`.
+    /// Non-positive weights drop that ring entirely.
+    Weighted {
+        /// Weight of same-tower neighbour history.
+        tower: f64,
+        /// Weight of same-RNC (other-tower) neighbour history.
+        rnc: f64,
+    },
+}
+
+/// What one window's calibration screen did, per series — the per-node
+/// view of the §3.3 screen (windows × nodes trajectories).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowScreen {
+    /// Window number (0-based, in stream order).
+    pub window_index: usize,
+    /// First time step of the window (inclusive).
+    pub start: usize,
+    /// One past the last time step.
+    pub end: usize,
+    /// Per series: in-window cells excluded from the pseudo-ideal by the
+    /// streaming history screen (own or pooled neighbour history).
+    pub history_flagged: Vec<usize>,
+    /// Per series: in-window cells excluded by the structural
+    /// missing/constraint checks (these pre-empt the history screen).
+    pub structural_flagged: Vec<usize>,
+}
 
 /// Configuration of a windowed experiment.
 #[derive(Debug, Clone)]
@@ -60,6 +117,12 @@ pub struct WindowedConfig {
     pub metric: DistortionMetric,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// How the history screen pools neighbour history.
+    pub pooling: NeighborPooling,
+    /// The network topology behind the pooling policy. Required (and only
+    /// consulted) when `pooling` is not [`NeighborPooling::OwnOnly`];
+    /// every series' node must lie inside it.
+    pub topology: Option<Topology>,
 }
 
 impl WindowedConfig {
@@ -78,7 +141,17 @@ impl WindowedConfig {
             log_transform_attr1: true,
             metric: DistortionMetric::paper_default(),
             threads: 0,
+            pooling: NeighborPooling::OwnOnly,
+            topology: None,
         }
+    }
+
+    /// Enables topology neighbour pooling: the history screen conditions
+    /// on neighbour history selected by `pooling` over `topology`.
+    pub fn with_topology(mut self, topology: Topology, pooling: NeighborPooling) -> Self {
+        self.topology = Some(topology);
+        self.pooling = pooling;
+        self
     }
 
     /// Per-attribute transforms implied by the log factor.
@@ -125,6 +198,7 @@ pub struct WindowOutcome {
 #[derive(Debug, Clone)]
 pub struct WindowedResult {
     outcomes: Vec<WindowOutcome>,
+    screens: Vec<WindowScreen>,
     num_windows: usize,
 }
 
@@ -139,6 +213,11 @@ impl WindowedResult {
         self.num_windows
     }
 
+    /// Per-window calibration screen results, in stream order.
+    pub fn screens(&self) -> &[WindowScreen] {
+        &self.screens
+    }
+
     /// One strategy's per-window `(window_index, improvement, distortion)`
     /// trajectory, in stream order.
     pub fn trajectory(&self, strategy_index: usize) -> Vec<(usize, f64, f64)> {
@@ -148,9 +227,45 @@ impl WindowedResult {
             .map(|o| (o.window_index, o.improvement, o.distortion))
             .collect()
     }
+
+    /// One node's per-window `(window_index, history_flagged,
+    /// structural_flagged)` screen trajectory, in stream order.
+    pub fn node_trajectory(&self, series_index: usize) -> Vec<(usize, usize, usize)> {
+        self.screens
+            .iter()
+            .map(|s| {
+                (
+                    s.window_index,
+                    s.history_flagged[series_index],
+                    s.structural_flagged[series_index],
+                )
+            })
+            .collect()
+    }
 }
 
 /// The windowed experiment entry point.
+///
+/// ```
+/// use sd_core::{NeighborPooling, WindowedConfig, WindowedExperiment};
+/// use sd_cleaning::paper_strategy;
+/// use sd_netsim::{generate, NetsimConfig};
+///
+/// // 100 sectors × 60 steps; screen each arrival against the pooled
+/// // history of its tower (§3.3's neighbour conditioning).
+/// let config = NetsimConfig::small(7);
+/// let data = generate(&config).dataset;
+/// let windowed = WindowedConfig::paper_default(30, 30, 7)
+///     .with_topology(config.topology, NeighborPooling::KHop { hops: 1 });
+/// let result = WindowedExperiment::new(windowed)
+///     .run(&data, &[paper_strategy(5)])
+///     .unwrap();
+/// assert_eq!(result.num_windows(), 2);
+/// // One (improvement, distortion) point per window, and a per-node
+/// // screen trajectory for every sector.
+/// assert_eq!(result.trajectory(0).len(), 2);
+/// assert_eq!(result.node_trajectory(0).len(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct WindowedExperiment {
     config: WindowedConfig,
@@ -210,12 +325,32 @@ impl WindowedExperiment {
                 "data horizon shorter than one window".into(),
             ));
         }
+        if strategies.is_empty() {
+            // No units means no window group ever builds (and no screens);
+            // keep the historical Ok-with-no-outcomes contract.
+            return Ok(WindowedResult {
+                outcomes: Vec::new(),
+                screens: Vec::new(),
+                num_windows,
+            });
+        }
         let transforms = self.config.transforms(data.num_attributes());
+        let neighbors = self.neighbor_views(data)?;
+        // The per-window screen is a pure function of the window, computed
+        // inside the group-slot build (once per window, whichever unit
+        // arrives first); the slots publish it here so scheduling cannot
+        // reorder or duplicate rows.
+        let screens: Mutex<Vec<Option<WindowScreen>>> =
+            Mutex::new((0..num_windows).map(|_| None).collect());
         let unit_results = run_staged(
             executor,
             num_windows,
             strategies.len(),
-            |w| share_replication(self.window_artifacts(data, w, &transforms), &transforms),
+            |w| {
+                let (artifacts, screen) = self.window_artifacts(data, w, &transforms, &neighbors);
+                screens.lock()[w] = Some(screen);
+                share_replication(artifacts, &transforms)
+            },
             |shared, w, s| {
                 evaluate_unit(
                     shared,
@@ -234,20 +369,95 @@ impl WindowedExperiment {
         for result in unit_results {
             outcomes.push(result?);
         }
+        let screens = screens
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every window group was built"))
+            .collect();
         Ok(WindowedResult {
             outcomes,
+            screens,
             num_windows,
         })
     }
 
+    /// Resolves the pooling policy into per-series neighbour views:
+    /// `(series index, weight)` pairs, in [`Topology::sectors`] order.
+    ///
+    /// Resolved once per run — every window reuses the same views, since
+    /// topology (unlike history) does not change along the stream.
+    fn neighbor_views(&self, data: &Dataset) -> Result<Vec<Vec<(usize, f64)>>> {
+        if matches!(self.config.pooling, NeighborPooling::OwnOnly) {
+            return Ok(vec![Vec::new(); data.num_series()]);
+        }
+        let topology = self.config.topology.as_ref().ok_or_else(|| {
+            FrameworkError::InvalidConfig(
+                "neighbour pooling requires a topology (WindowedConfig::topology)".into(),
+            )
+        })?;
+        // Node → series index, so neighbour NodeIds resolve to data series.
+        let mut index_of = vec![usize::MAX; topology.num_sectors()];
+        for (i, series) in data.series().iter().enumerate() {
+            let node = series.node();
+            if !topology.contains(node) {
+                return Err(FrameworkError::InvalidConfig(format!(
+                    "series {i} ({node}) lies outside the configured topology"
+                )));
+            }
+            let slot = &mut index_of[topology.sector_index(node)];
+            if *slot != usize::MAX {
+                return Err(FrameworkError::InvalidConfig(format!(
+                    "series {i} and {} both claim node {node}; neighbour \
+                     pooling needs one series per sector",
+                    *slot
+                )));
+            }
+            *slot = i;
+        }
+        let mut views = Vec::with_capacity(data.num_series());
+        for series in data.series() {
+            let node = series.node();
+            let view: Vec<(usize, f64)> = match self.config.pooling {
+                NeighborPooling::OwnOnly => unreachable!("handled above"),
+                NeighborPooling::KHop { hops } => topology
+                    .khop_neighbors(node, hops)
+                    .into_iter()
+                    .filter_map(|m| {
+                        let j = index_of[topology.sector_index(m)];
+                        (j != usize::MAX).then_some((j, 1.0))
+                    })
+                    .collect(),
+                NeighborPooling::Weighted { tower, rnc } => topology
+                    .khop_neighbors(node, 2)
+                    .into_iter()
+                    .filter_map(|m| {
+                        let w = match topology.hop_distance(node, m) {
+                            1 => tower,
+                            _ => rnc,
+                        };
+                        if w <= 0.0 {
+                            return None;
+                        }
+                        let j = index_of[topology.sector_index(m)];
+                        (j != usize::MAX).then_some((j, w))
+                    })
+                    .collect(),
+            };
+            views.push(view);
+        }
+        Ok(views)
+    }
+
     /// Calibrates one window: streaming screen → pseudo-ideal reference →
-    /// window-fitted detector/context → annotated slice.
+    /// window-fitted detector/context → annotated slice. Also reports what
+    /// the screen did per series ([`WindowScreen`]).
     fn window_artifacts(
         &self,
         data: &Dataset,
         w: usize,
         transforms: &[AttributeTransform],
-    ) -> ReplicationArtifacts {
+        neighbors: &[Vec<(usize, f64)>],
+    ) -> (ReplicationArtifacts, WindowScreen) {
         let start = w * self.config.stride;
         let end = start + self.config.window;
         let slice = data.window_slice(start, end);
@@ -255,35 +465,67 @@ impl WindowedExperiment {
         let mut screen = WindowedOutlierDetector::new(self.config.window, self.config.sigma_k);
         screen.min_history = self.config.min_history;
         let structural = GlitchDetector::new(self.config.constraints.clone(), None);
+        let weighted = matches!(self.config.pooling, NeighborPooling::Weighted { .. });
 
         // Pseudo-ideal reference: in-window cells surviving the missing /
         // constraint / history screens. History windows run on the full
-        // stream, so they reach back past the window start.
+        // stream, so they reach back past the window start — and, under
+        // neighbour pooling, across collocated sectors.
         let mut reference = slice.clone();
+        let mut history_flagged = vec![0usize; slice.num_series()];
+        let mut structural_flagged = vec![0usize; slice.num_series()];
         for (i, window_series) in slice.series().iter().enumerate() {
             let flags = structural.detect_series(window_series);
             let stream_series = data.series_at(i);
+            let pooled: Vec<(&TimeSeries, f64)> = neighbors[i]
+                .iter()
+                .map(|&(j, wt)| (data.series_at(j), wt))
+                .collect();
+            let unweighted: Vec<&TimeSeries> = if weighted {
+                Vec::new()
+            } else {
+                pooled.iter().map(|&(s, _)| s).collect()
+            };
             for a in 0..slice.num_attributes() {
                 for t in 0..window_series.len() {
-                    if flags.any(a, t) || screen.is_outlier(stream_series, &[], a, start + t) {
+                    if flags.any(a, t) {
+                        structural_flagged[i] += 1;
                         reference.series_mut()[i].set_missing(a, t);
+                    } else {
+                        let hit = if weighted {
+                            screen.is_outlier_weighted(stream_series, &pooled, a, start + t)
+                        } else {
+                            screen.is_outlier(stream_series, &unweighted, a, start + t)
+                        };
+                        if hit {
+                            history_flagged[i] += 1;
+                            reference.series_mut()[i].set_missing(a, t);
+                        }
                     }
                 }
             }
         }
+        let window_screen = WindowScreen {
+            window_index: w,
+            start,
+            end,
+            history_flagged,
+            structural_flagged,
+        };
 
         let outliers = OutlierDetector::fit(&reference, transforms, self.config.sigma_k);
         let context = CleaningContext::from_detector(&reference, transforms, &outliers);
         let detector = GlitchDetector::new(self.config.constraints.clone(), Some(outliers));
         let dirty_matrices = detector.detect_dataset(&slice);
-        ReplicationArtifacts {
+        let artifacts = ReplicationArtifacts {
             replication: w,
             dirty: slice,
             ideal: reference,
             detector,
             context,
             dirty_matrices,
-        }
+        };
+        (artifacts, window_screen)
     }
 
     fn window_outcome(&self, outcome: StrategyOutcome, w: usize) -> WindowOutcome {
@@ -375,6 +617,115 @@ mod tests {
             assert_eq!(x.distortion.to_bits(), y.distortion.to_bits());
             assert_eq!(x.cleaning, y.cleaning);
         }
+    }
+
+    #[test]
+    fn screens_are_recorded_per_window_and_series() {
+        let d = data();
+        let result = WindowedExperiment::new(config())
+            .run(&d, &[paper_strategy(5)])
+            .unwrap();
+        assert_eq!(result.screens().len(), 5);
+        for (w, s) in result.screens().iter().enumerate() {
+            assert_eq!(s.window_index, w);
+            assert_eq!(s.history_flagged.len(), d.num_series());
+            assert_eq!(s.structural_flagged.len(), d.num_series());
+        }
+        // The netsim stream always has structurally flagged cells.
+        assert!(result
+            .screens()
+            .iter()
+            .any(|s| s.structural_flagged.iter().sum::<usize>() > 0));
+        let traj = result.node_trajectory(3);
+        assert_eq!(
+            traj.iter().map(|&(w, _, _)| w).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn tower_pooling_changes_the_screen_but_not_determinism() {
+        let d = data();
+        let topology = NetsimConfig::small(19).topology;
+        let strategies = [paper_strategy(5)];
+        let own = WindowedExperiment::new(config())
+            .run(&d, &strategies)
+            .unwrap();
+        let mut pooled_config = config();
+        pooled_config = pooled_config.with_topology(topology, NeighborPooling::KHop { hops: 1 });
+        let e = WindowedExperiment::new(pooled_config);
+        let pooled = e.run(&d, &strategies).unwrap();
+        let serial = e.run_with(&d, &strategies, &SerialExecutor).unwrap();
+        // Bit-identical across executors, screens included.
+        assert_eq!(pooled.screens(), serial.screens());
+        for (x, y) in pooled.outcomes().iter().zip(serial.outcomes()) {
+            assert_eq!(x.improvement.to_bits(), y.improvement.to_bits());
+            assert_eq!(x.distortion.to_bits(), y.distortion.to_bits());
+        }
+        // Pooling must actually change what the screen sees somewhere.
+        let flags = |r: &WindowedResult| -> Vec<usize> {
+            r.screens()
+                .iter()
+                .flat_map(|s| s.history_flagged.iter().copied())
+                .collect()
+        };
+        assert_ne!(flags(&own), flags(&pooled), "tower pooling is a no-op");
+    }
+
+    #[test]
+    fn weighted_pooling_interpolates_between_rings() {
+        let d = data();
+        let topology = NetsimConfig::small(19).topology;
+        let strategies = [paper_strategy(3)];
+        let mut c = config();
+        c = c.with_topology(
+            topology,
+            NeighborPooling::Weighted {
+                tower: 1.0,
+                rnc: 0.25,
+            },
+        );
+        let weighted = WindowedExperiment::new(c).run(&d, &strategies).unwrap();
+        assert_eq!(weighted.outcomes().len(), 5);
+        for o in weighted.outcomes() {
+            assert!(o.improvement.is_finite());
+            assert!(o.distortion.is_finite() && o.distortion >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_strategy_list_yields_empty_result() {
+        let d = data();
+        let result = WindowedExperiment::new(config()).run(&d, &[]).unwrap();
+        assert!(result.outcomes().is_empty());
+        assert!(result.screens().is_empty());
+        assert_eq!(result.num_windows(), 5);
+    }
+
+    #[test]
+    fn duplicate_nodes_are_rejected_under_pooling() {
+        let mut d = data();
+        let dup = d.series_at(0).clone();
+        d.push(dup).unwrap();
+        let c = config().with_topology(
+            NetsimConfig::small(19).topology,
+            NeighborPooling::KHop { hops: 1 },
+        );
+        let err = WindowedExperiment::new(c)
+            .run(&d, &[paper_strategy(1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("claim node"));
+    }
+
+    #[test]
+    fn pooling_without_topology_is_rejected() {
+        let d = data();
+        let mut c = config();
+        c.pooling = NeighborPooling::KHop { hops: 1 };
+        let err = WindowedExperiment::new(c)
+            .run(&d, &[paper_strategy(1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("topology"));
     }
 
     #[test]

@@ -86,6 +86,45 @@ impl Topology {
             .map(|k| NodeId::new(node.rnc, node.tower, k))
             .collect()
     }
+
+    /// The flat index of a sector's tower (`rnc * towers_per_rnc + tower`).
+    pub fn tower_index(&self, node: NodeId) -> usize {
+        assert!(self.contains(node), "node {node} outside topology");
+        node.rnc as usize * self.towers_per_rnc as usize + node.tower as usize
+    }
+
+    /// Hop distance between two sectors in the RNC → tower → sector
+    /// hierarchy: 0 for the node itself, 1 for collocated sectors (same
+    /// tower), 2 for sectors under the same RNC, 3 otherwise.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(
+            self.contains(a) && self.contains(b),
+            "nodes must lie inside the topology"
+        );
+        if a == b {
+            0
+        } else if a.rnc == b.rnc && a.tower == b.tower {
+            1
+        } else if a.rnc == b.rnc {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// All sectors within `hops` of `node` (excluding `node` itself), in
+    /// [`Topology::sectors`] order: `hops = 1` is the tower neighbourhood
+    /// ([`Topology::neighbors`]), `hops = 2` adds every sector under the
+    /// same RNC, `hops ≥ 3` the entire network.
+    pub fn khop_neighbors(&self, node: NodeId, hops: u32) -> Vec<NodeId> {
+        assert!(self.contains(node), "node {node} outside topology");
+        self.sectors()
+            .filter(|&m| {
+                let d = self.hop_distance(node, m);
+                d > 0 && d <= hops
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +155,33 @@ mod tests {
         let nb = t.neighbors(n);
         assert_eq!(nb, vec![NodeId::new(0, 1, 1), NodeId::new(0, 1, 2)]);
         assert!(nb.iter().all(|m| m.is_neighbor(&n)));
+    }
+
+    #[test]
+    fn khop_neighborhoods_grow_with_hops() {
+        let t = Topology::new(2, 2, 3);
+        let n = NodeId::new(0, 1, 0);
+        assert_eq!(t.khop_neighbors(n, 0), vec![]);
+        assert_eq!(t.khop_neighbors(n, 1), t.neighbors(n));
+        let rnc_wide = t.khop_neighbors(n, 2);
+        assert_eq!(rnc_wide.len(), 5); // 6 sectors under rnc 0, minus self
+        assert!(rnc_wide.iter().all(|m| m.rnc == 0));
+        assert_eq!(t.khop_neighbors(n, 3).len(), t.num_sectors() - 1);
+        assert_eq!(t.hop_distance(n, n), 0);
+        assert_eq!(t.hop_distance(n, NodeId::new(0, 1, 2)), 1);
+        assert_eq!(t.hop_distance(n, NodeId::new(0, 0, 0)), 2);
+        assert_eq!(t.hop_distance(n, NodeId::new(1, 0, 0)), 3);
+    }
+
+    #[test]
+    fn tower_index_is_flat() {
+        let t = Topology::new(2, 3, 4);
+        for node in t.sectors() {
+            assert_eq!(
+                t.tower_index(node),
+                t.sector_index(node) / t.sectors_per_tower as usize
+            );
+        }
     }
 
     #[test]

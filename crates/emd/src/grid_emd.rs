@@ -187,6 +187,32 @@ impl GridEmd {
     /// histogram is the cached histogram with only the edited rows
     /// re-binned. Bit-identical to
     /// `self.distance(cache.rows(), &patched.materialize())`.
+    ///
+    /// ```
+    /// use sd_emd::{GridEmd, PatchedCloud, SignatureCache};
+    ///
+    /// // A dirty cloud, cached once; a "cleaning" that moves two rows.
+    /// let dirty: Vec<Vec<f64>> = (0..64)
+    ///     .map(|i| vec![i as f64 * 0.25, (i % 8) as f64])
+    ///     .collect();
+    /// let cache = SignatureCache::new(dirty.clone());
+    /// let edits = vec![(3, vec![100.0, 50.0]), (40, vec![0.5, 0.5])];
+    ///
+    /// let emd = GridEmd::new(6);
+    /// let patched = emd
+    ///     .distance_patched(&PatchedCloud::new(&cache, edits.clone()))
+    ///     .unwrap();
+    ///
+    /// // Bit-identical to materializing the cleaned cloud and starting
+    /// // from scratch — the engine leans on this equivalence.
+    /// let mut cleaned = dirty.clone();
+    /// for (row, values) in edits {
+    ///     cleaned[row] = values;
+    /// }
+    /// let direct = emd.distance(&dirty, &cleaned).unwrap();
+    /// assert_eq!(patched.emd.to_bits(), direct.emd.to_bits());
+    /// assert!(patched.emd > 0.0);
+    /// ```
     pub fn distance_patched(&self, patched: &PatchedCloud<'_>) -> Result<GridEmdReport> {
         let cache = patched.cache();
         if cache.rows().is_empty() {

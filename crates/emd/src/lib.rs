@@ -32,6 +32,7 @@
 // Index-based loops are the clearer idiom in the dense numeric kernels
 // of this crate.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 mod basis_tree;
 mod emd1d;

@@ -11,8 +11,8 @@ use crate::{EmdError, Result};
 /// the optimal flow `F*` yields
 /// `EMD(P, Q) = Σ f*_ij |b_i − b_j| / Σ f*_ij`.
 ///
-/// The basis is kept as a persistent spanning tree
-/// ([`BasisTree`](crate::basis_tree::BasisTree)): duals update
+/// The basis is kept as a persistent spanning tree (`BasisTree`, a
+/// crate-private module): duals update
 /// incrementally on the subtree cut by each leaving arc, entering cells are
 /// found with block pricing, and pivots reuse flat scratch buffers, so a
 /// pivot costs O(cycle + cut subtree) instead of the O(n·m) per-pivot
@@ -366,8 +366,18 @@ mod tests {
     #[test]
     fn matches_min_cost_flow_on_random_corpus() {
         // Cross-validate the tree-based simplex against the structurally
-        // independent successive-shortest-paths solver on a corpus of
-        // random balanced instances, including rectangular shapes.
+        // independent successive-shortest-paths solver (test-only; ~23×
+        // slower at n = 128, see `MinCostFlow`) on a corpus of random
+        // balanced instances, including rectangular shapes. The corpus
+        // runs reduced by default (SD_SCALE unset or `small`) so plain
+        // `cargo test -q` stays fast; `SD_SCALE=harness` / `paper`
+        // sweeps the full corpus, and CI runs the full sweep as a
+        // dedicated step.
+        let trials: u64 = if std::env::var("SD_SCALE").is_ok_and(|v| v != "small") {
+            12
+        } else {
+            4
+        };
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
             state = state
@@ -375,7 +385,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
-        for trial in 0..12 {
+        for trial in 0..trials {
             let n = 3 + (trial * 5) % 28;
             let m = 2 + (trial * 7) % 31;
             let mut supply: Vec<f64> = (0..n).map(|_| 0.01 + next()).collect();

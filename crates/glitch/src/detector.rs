@@ -162,6 +162,61 @@ impl WindowedOutlierDetector {
         let (lo, hi) = s.sigma_limits(self.k);
         x < lo || x > hi
     }
+
+    /// Weight-pooled variant of [`WindowedOutlierDetector::is_outlier`]:
+    /// own history enters with weight 1, each neighbour's history with its
+    /// supplied weight (non-positive weights are skipped).
+    ///
+    /// The screen uses the weighted mean, the reliability-weights variance
+    /// estimator `Σw(x−μ)² / (V₁ − V₂/V₁)` (which reduces to the sample
+    /// variance when every weight is 1), and Kish's effective sample size
+    /// `V₁²/V₂` in place of the raw count for the `min_history` guard — so
+    /// a value backed mostly by faintly-weighted remote history is still
+    /// treated as under-evidenced.
+    pub fn is_outlier_weighted(
+        &self,
+        series: &TimeSeries,
+        neighbors: &[(&TimeSeries, f64)],
+        attr: usize,
+        t: usize,
+    ) -> bool {
+        let x = series.get(attr, t);
+        if x.is_nan() {
+            return false;
+        }
+        let mut values: Vec<(f64, f64)> = Window::history(series, t, self.window)
+            .present(attr)
+            .map(|v| (v, 1.0))
+            .collect();
+        for &(nb, w) in neighbors {
+            if w <= 0.0 {
+                continue;
+            }
+            let upto = t.min(nb.len());
+            values.extend(
+                Window::history(nb, upto, self.window)
+                    .present(attr)
+                    .map(|v| (v, w)),
+            );
+        }
+        let v1: f64 = values.iter().map(|&(_, w)| w).sum();
+        let v2: f64 = values.iter().map(|&(_, w)| w * w).sum();
+        if v2 <= 0.0 || (v1 * v1) / v2 < self.min_history as f64 {
+            return false;
+        }
+        let mean = values.iter().map(|&(v, w)| v * w).sum::<f64>() / v1;
+        let denom = v1 - v2 / v1;
+        if denom <= 0.0 {
+            return false;
+        }
+        let var = values
+            .iter()
+            .map(|&(v, w)| w * (v - mean) * (v - mean))
+            .sum::<f64>()
+            / denom;
+        let spread = self.k * var.sqrt();
+        x < mean - spread || x > mean + spread
+    }
 }
 
 /// Orchestrates the three detectors over a series / data set, producing the
@@ -356,6 +411,51 @@ mod tests {
         assert!(
             w.is_outlier(&own, &[&nb1, &nb2], 0, 2),
             "neighbours provide context"
+        );
+    }
+
+    #[test]
+    fn weighted_pooling_matches_unweighted_at_unit_weights() {
+        let mut s = TimeSeries::new(NodeId::new(0, 0, 0), 1, 12);
+        for t in 0..11 {
+            s.set(0, t, 10.0 + (t % 3) as f64);
+        }
+        s.set(0, 11, 500.0);
+        let mut nb = TimeSeries::new(NodeId::new(0, 0, 1), 1, 12);
+        for t in 0..12 {
+            nb.set(0, t, 10.5);
+        }
+        let w = WindowedOutlierDetector::new(10, 3.0);
+        for t in [1, 10, 11] {
+            assert_eq!(
+                w.is_outlier(&s, &[&nb], 0, t),
+                w.is_outlier_weighted(&s, &[(&nb, 1.0)], 0, t),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn faint_weights_do_not_satisfy_min_history() {
+        // Two own points + many neighbour points at weight 0.01: the Kish
+        // effective sample size stays ≈ 2, under the min-history guard.
+        let mut own = TimeSeries::new(NodeId::new(0, 0, 0), 1, 3);
+        own.set(0, 0, 10.0);
+        own.set(0, 1, 11.0);
+        own.set(0, 2, 900.0);
+        let mut nb = TimeSeries::new(NodeId::new(0, 0, 1), 1, 3);
+        for t in 0..3 {
+            nb.set(0, t, 10.5);
+        }
+        let w = WindowedOutlierDetector::new(10, 3.0);
+        assert!(!w.is_outlier_weighted(&own, &[(&nb, 0.01)], 0, 2));
+        assert!(
+            w.is_outlier_weighted(&own, &[(&nb, 1.0), (&nb, 1.0)], 0, 2),
+            "full-weight neighbours provide the evidence"
+        );
+        assert!(
+            !w.is_outlier_weighted(&own, &[(&nb, -1.0), (&nb, 0.0)], 0, 2),
+            "non-positive weights are skipped"
         );
     }
 

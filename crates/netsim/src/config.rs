@@ -165,6 +165,21 @@ impl NetsimConfig {
         }
     }
 
+    /// A configuration over a caller-chosen network shape (default rates
+    /// and KPI parameters) — the entry point for topology-aware scenarios
+    /// such as the tower-pooling example, where the neighbourhood
+    /// structure matters more than the sector count.
+    pub fn for_topology(topology: Topology, series_len: usize, seed: u64) -> Self {
+        NetsimConfig {
+            topology,
+            series_len,
+            seed,
+            dirty_tower_fraction: 0.5,
+            rates: GlitchRates::default(),
+            kpi: KpiParams::default(),
+        }
+    }
+
     /// Number of series this config will generate.
     pub fn num_series(&self) -> usize {
         self.topology.num_sectors()

@@ -81,7 +81,7 @@ fn main() {
     let sweep = CostSweepConfig {
         experiment,
         fractions: vec![0.0, 0.2, 0.5, 1.0],
-        strategy: paper_strategy(1),
+        strategies: vec![paper_strategy(1)],
     };
     let points = cost_sweep(&data, &sweep).expect("cost sweep");
     println!("\ncost sweep (strategy 1 = winsorize + impute):");

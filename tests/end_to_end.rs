@@ -165,9 +165,18 @@ fn cost_sweep_monotone_in_fraction() {
     let sweep = CostSweepConfig {
         experiment: config,
         fractions: vec![0.0, 0.5, 1.0],
-        strategy: paper_strategy(5),
+        strategies: vec![paper_strategy(5)],
     };
     let points = cost_sweep(&data, &sweep).unwrap();
+    // The engine sweep must match the preserved replication-granular
+    // reference bit for bit (same seeds, same selections, same scores).
+    let reference = cost_sweep_reference(&data, &sweep).unwrap();
+    assert_eq!(points.len(), reference.len());
+    for (a, b) in points.iter().zip(&reference) {
+        assert_eq!(a.improvement.to_bits(), b.improvement.to_bits());
+        assert_eq!(a.distortion.to_bits(), b.distortion.to_bits());
+        assert_eq!(a.series_cleaned, b.series_cleaned);
+    }
     for rep in 0..2 {
         let at = |f: f64| {
             points

@@ -48,32 +48,6 @@ proptest! {
     }
 
     #[test]
-    fn simplex_matches_flow_solver(
-        supply in prop::collection::vec(0.01f64..1.0, 1..8),
-        demand in prop::collection::vec(0.01f64..1.0, 1..8),
-        seed in 0u64..1000,
-    ) {
-        // Balance the problem.
-        let st: f64 = supply.iter().sum();
-        let dt: f64 = demand.iter().sum();
-        let supply: Vec<f64> = supply.iter().map(|x| x / st).collect();
-        let demand: Vec<f64> = demand.iter().map(|x| x / dt).collect();
-        // Deterministic pseudo-random costs from the seed.
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut cost = Vec::with_capacity(supply.len() * demand.len());
-        for _ in 0..supply.len() * demand.len() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            cost.push(((state >> 33) as f64) / (u32::MAX as f64) * 5.0);
-        }
-        let via_simplex = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
-            .unwrap()
-            .solve()
-            .unwrap();
-        let via_flow = MinCostFlow::new(supply, demand, cost).unwrap().solve().unwrap();
-        prop_assert!((via_simplex - via_flow).abs() < 1e-7, "{via_simplex} vs {via_flow}");
-    }
-
-    #[test]
     fn simplex_flow_meets_marginals(
         supply in prop::collection::vec(0.001f64..1.0, 1..24),
         demand in prop::collection::vec(0.001f64..1.0, 1..24),
@@ -202,6 +176,50 @@ proptest! {
         let ab = index.improvement(&a, &b);
         let ba = index.improvement(&b, &a);
         prop_assert!((ab + ba).abs() < 1e-12);
+    }
+}
+
+/// Case count for the min-cost-flow cross-validation corpus. The flow
+/// solver is test-only and ~23× slower than the simplex (see
+/// `sd_emd::MinCostFlow`), so the random corpus runs reduced by default
+/// (SD_SCALE unset or `small`) so plain `cargo test -q` stays fast;
+/// `SD_SCALE=harness` / `paper` sweeps the full corpus, and CI runs the
+/// full sweep as a dedicated step.
+fn flow_corpus_config() -> ProptestConfig {
+    if std::env::var("SD_SCALE").is_ok_and(|v| v != "small") {
+        ProptestConfig::with_cases(64)
+    } else {
+        ProptestConfig::with_cases(12)
+    }
+}
+
+proptest! {
+    #![proptest_config(flow_corpus_config())]
+
+    #[test]
+    fn simplex_matches_flow_solver(
+        supply in prop::collection::vec(0.01f64..1.0, 1..8),
+        demand in prop::collection::vec(0.01f64..1.0, 1..8),
+        seed in 0u64..1000,
+    ) {
+        // Balance the problem.
+        let st: f64 = supply.iter().sum();
+        let dt: f64 = demand.iter().sum();
+        let supply: Vec<f64> = supply.iter().map(|x| x / st).collect();
+        let demand: Vec<f64> = demand.iter().map(|x| x / dt).collect();
+        // Deterministic pseudo-random costs from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut cost = Vec::with_capacity(supply.len() * demand.len());
+        for _ in 0..supply.len() * demand.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cost.push(((state >> 33) as f64) / (u32::MAX as f64) * 5.0);
+        }
+        let via_simplex = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let via_flow = MinCostFlow::new(supply, demand, cost).unwrap().solve().unwrap();
+        prop_assert!((via_simplex - via_flow).abs() < 1e-7, "{via_simplex} vs {via_flow}");
     }
 }
 
