@@ -51,6 +51,9 @@ fn metrics() -> Vec<(&'static str, DistortionMetric)> {
         ),
         ("kl_bins6", DistortionMetric::KlDivergence { bins: 6 }),
         ("mahalanobis", DistortionMetric::Mahalanobis),
+        ("ks", DistortionMetric::KolmogorovSmirnov),
+        ("cvm", DistortionMetric::CramerVonMises),
+        ("energy_bins6", DistortionMetric::Energy { bins: 6 }),
     ]
 }
 

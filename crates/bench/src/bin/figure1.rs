@@ -97,6 +97,7 @@ fn main() {
             "bin_centers": before.centers(),
             "before": before.counts(),
             "after": after.counts(),
+            "metric": "emd",
             "emd": emd,
             "legit_changed": legit_changed,
             "suspicious_untouched": suspicious_untouched,

@@ -49,11 +49,13 @@ fn main() {
     harness.write_json(
         "figure2.json",
         &serde_json::json!({
+            "metric": "emd",
             "points": points
                 .iter()
                 .map(|p| serde_json::json!({
                     "scenario": p.scenario.label(),
                     "pct_cleaned": p.glitch_improvement_pct,
+                    "metric": "emd",
                     "emd": p.distortion,
                 }))
                 .collect::<Vec<_>>(),

@@ -9,7 +9,7 @@
 
 use sd_bench::{mean_sd, shape_check, HarnessConfig};
 use sd_cleaning::{paper_strategy, CleaningStrategy};
-use sd_core::{figure6_points, Experiment, ExperimentConfig};
+use sd_core::{Experiment, ExperimentConfig};
 
 fn main() {
     let harness = HarnessConfig::from_env();
@@ -62,25 +62,37 @@ fn main() {
             }
         }
 
-        let points = figure6_points(&result);
+        // Self-describing schema: the scored metric names ride along with
+        // every panel, and each point records its per-metric scores, so
+        // multi-metric configurations need no side channel.
+        let metrics = result.metrics().to_vec();
         json_panels.push(serde_json::json!({
             "panel": label,
             "sample_size": sample_size,
             "log_transform": log,
+            "metrics": metrics,
             "means": spreads
                 .iter()
                 .map(|(name, mi, md, si_, sd_)| serde_json::json!({
                     "strategy": name,
+                    "metric": metrics[0],
                     "improvement_mean": mi,
                     "distortion_mean": md,
                     "improvement_sd": si_,
                     "distortion_sd": sd_,
                 }))
                 .collect::<Vec<_>>(),
-            "points": points
+            "points": result.outcomes()
                 .iter()
-                .map(|(name, imp, emd)| serde_json::json!({
-                    "strategy": name, "improvement": imp, "emd": emd,
+                .map(|o| serde_json::json!({
+                    "strategy": o.strategy,
+                    "improvement": o.improvement,
+                    "metric": o.distortions[0].metric,
+                    "emd": o.distortion,
+                    "distortions": o.distortions
+                        .iter()
+                        .map(|s| serde_json::json!({ "metric": s.metric, "value": s.value }))
+                        .collect::<Vec<_>>(),
                 }))
                 .collect::<Vec<_>>(),
         }));

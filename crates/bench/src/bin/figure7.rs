@@ -68,16 +68,31 @@ fn main() {
                 panel_a.push((fraction, mi, md));
             }
         }
+        // Self-describing schema: metric names ride along with the panel
+        // and every point records its per-metric scores.
+        let metrics: Vec<&'static str> = config
+            .experiment
+            .metrics
+            .iter()
+            .map(sd_core::DistortionMetric::name)
+            .collect();
         json_panels.push(serde_json::json!({
             "panel": label,
+            "metrics": metrics,
             "summary": summary,
             "points": points
                 .iter()
                 .map(|p| serde_json::json!({
                     "fraction": p.fraction,
                     "replication": p.replication,
+                    "strategy": p.strategy,
                     "improvement": p.improvement,
+                    "metric": p.distortions[0].metric,
                     "emd": p.distortion,
+                    "distortions": p.distortions
+                        .iter()
+                        .map(|s| serde_json::json!({ "metric": s.metric, "value": s.value }))
+                        .collect::<Vec<_>>(),
                 }))
                 .collect::<Vec<_>>(),
         }));

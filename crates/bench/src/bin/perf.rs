@@ -19,6 +19,13 @@
 //! application, re-detection, and EMD distortion — the quantity the staged
 //! engine optimises.
 //!
+//! The distortion-kernel rows track the trait-based kernel subsystem:
+//! `distortion_kl` / `distortion_maha` measure the incremental
+//! `score_patch` paths against their `_ref` materialized counterparts, and
+//! `score_multi` / `score_multi_seq` measure one all-six-kernels run per
+//! unit against six sequential single-metric runs (the cleaning-pass
+//! amortization the kernel subsystem buys).
+//!
 //! ```text
 //! SD_SCALE=small SD_OUT=out cargo run --release -p sd-bench --bin perf
 //! ```
@@ -26,8 +33,13 @@
 use sd_bench::synth::{grid_cloud_pair, transport_instance};
 use sd_bench::{HarnessConfig, Scale};
 use sd_cleaning::paper_strategy;
-use sd_core::{cost_sweep, cost_sweep_reference, CostSweepConfig, Experiment, ExperimentConfig};
-use sd_emd::{sinkhorn, GridEmd, MinCostFlow, SinkhornParams, TransportProblem};
+use sd_core::{
+    cost_sweep, cost_sweep_reference, CostSweepConfig, DistortionMetric, Experiment,
+    ExperimentConfig,
+};
+use sd_emd::{
+    sinkhorn, GridEmd, MinCostFlow, PatchedCloud, SignatureCache, SinkhornParams, TransportProblem,
+};
 use sd_netsim::{generate, NetsimConfig};
 use serde_json::{json, Value};
 use std::hint::black_box;
@@ -113,6 +125,39 @@ fn main() {
         record("grid", points, us);
     }
 
+    // Distortion-kernel rows: each kernel's incremental score_patch (the
+    // engine's per-unit path, prepared dirty-side state warm) against its
+    // materialized score_rows reference, on a pinned 10k-row cloud with a
+    // 2 % sparse edit set — the engine's typical cleaned-fraction shape.
+    {
+        let points = 10_000usize;
+        let (dirty, replacement_pool) = grid_cloud_pair(points, 29, 4.0);
+        let edits: Vec<(usize, Vec<f64>)> = (0..points / 50)
+            .map(|i| (i * 47 % points, replacement_pool[i].clone()))
+            .collect();
+        let cache = SignatureCache::new(dirty.clone());
+        let cleaned = PatchedCloud::new(&cache, edits.clone()).materialize();
+        for (label, metric) in [
+            ("distortion_kl", DistortionMetric::KlDivergence { bins: 6 }),
+            ("distortion_maha", DistortionMetric::Mahalanobis),
+        ] {
+            let kernel = metric.kernel();
+            let prepared = kernel.prepare(&cache);
+            let us = measure(
+                iters,
+                || PatchedCloud::new(&cache, edits.clone()),
+                |patched| prepared.score_patch(&patched).unwrap(),
+            );
+            record(label, points, us);
+            let us = measure(
+                iters,
+                || (),
+                |()| kernel.score_rows(&dirty, &cleaned).unwrap(),
+            );
+            record(&format!("{label}_ref"), points, us);
+        }
+    }
+
     // Experiment hot paths: glitch detection, cleaning strategies, and the
     // end-to-end (replication × strategy) engine unit, on the fixed small
     // telemetry instance at the paper's B = 100 sample size.
@@ -157,7 +202,7 @@ fn main() {
         };
         let mut run_config = config.clone();
         run_config.replications = reps;
-        let runner = Experiment::new(run_config);
+        let runner = Experiment::new(run_config.clone());
         let units = (reps * strategies.len()) as f64;
         // Both replication rows time only the unit work: `prepare()` (pool
         // partitioning, sampler setup) is hoisted out of the clock so the
@@ -199,6 +244,56 @@ fn main() {
             },
         ) / units;
         record("replication_ref", config.sample_size, us);
+
+        // Multi-metric amortization: `score_multi` drains the same R × S
+        // units once while scoring all six kernels per unit from one
+        // cleaning pass; `score_multi_seq` is the ablation the kernel
+        // subsystem replaces — six sequential single-metric experiment
+        // runs, each re-detecting and re-cleaning every unit. Both rows
+        // are µs per (replication × strategy) unit, so their ratio is the
+        // amortization factor.
+        let suite = DistortionMetric::full_suite();
+        let mut multi_config = run_config.clone();
+        multi_config.metrics = suite.clone();
+        let multi_prepared = Experiment::new(multi_config)
+            .prepare(&data)
+            .expect("prepare succeeds");
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let result = multi_prepared
+                    .run_with(black_box(&strategies), &executor)
+                    .unwrap();
+                result.outcomes().len() as f64
+            },
+        ) / units;
+        record("score_multi", config.sample_size, us);
+
+        let single_prepared: Vec<_> = suite
+            .iter()
+            .map(|&metric| {
+                let mut c = run_config.clone();
+                c.metrics = vec![metric];
+                Experiment::new(c).prepare(&data).expect("prepare succeeds")
+            })
+            .collect();
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let mut n = 0usize;
+                for prepared in &single_prepared {
+                    n += prepared
+                        .run_with(black_box(&strategies), &executor)
+                        .unwrap()
+                        .outcomes()
+                        .len();
+                }
+                n as f64
+            },
+        ) / units;
+        record("score_multi_seq", config.sample_size, us);
     }
 
     // Cost-sweep unit: one (replication × strategy × budget fraction)

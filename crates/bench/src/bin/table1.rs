@@ -96,6 +96,10 @@ fn main() {
     harness.write_json(
         "table1.json",
         &serde_json::json!({
+            // Table 1 reports glitch percentages, not distortion; the
+            // configured metric set still rides along so every artifact
+            // is self-describing.
+            "metrics": [sd_core::DistortionMetric::paper_default().name()],
             "rows": rows
                 .iter()
                 .map(|r| serde_json::json!({

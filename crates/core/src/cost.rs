@@ -37,7 +37,9 @@
 //! `cost_sweep_ref` rows).
 
 use crate::engine::{run_staged, score_view, share_replication, SharedReplication, TaskExecutor};
-use crate::{statistical_distortion, Experiment, ExperimentConfig, Result, ThreadPoolExecutor};
+use crate::{
+    statistical_distortion, Experiment, ExperimentConfig, MetricScore, Result, ThreadPoolExecutor,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{
@@ -72,8 +74,11 @@ pub struct CostPoint {
     pub strategy_index: usize,
     /// Glitch improvement.
     pub improvement: f64,
-    /// Statistical distortion.
+    /// Statistical distortion under the primary metric
+    /// (`experiment.metrics[0]`; equal to `distortions[0].value`).
     pub distortion: f64,
+    /// Per-metric distortions, in `experiment.metrics` order.
+    pub distortions: Vec<MetricScore>,
     /// Number of series actually cleaned.
     pub series_cleaned: usize,
     /// Treated glitch percentages.
@@ -131,7 +136,11 @@ pub fn cost_sweep_with<E: TaskExecutor>(
         config.experiment.replications,
         config.strategies.len() * nf,
         |r| {
-            let shared = share_replication(prepared.replication(r), transforms);
+            let shared = share_replication(
+                prepared.replication(r),
+                transforms,
+                &config.experiment.metrics,
+            );
             // One dirtiest-first ranking per replication; every fraction's
             // selection is a prefix of it.
             let ranked = index.rank_dirtiest(&shared.artifacts.dirty_matrices);
@@ -179,20 +188,16 @@ pub fn cost_sweep_with<E: TaskExecutor>(
                 Some(mask),
                 model,
             );
-            let (improvement, distortion, treated_report) = score_view(
-                &sw.shared,
-                transforms,
-                config.experiment.metric,
-                config.experiment.weights,
-                &view,
-            )?;
+            let (improvement, distortions, treated_report) =
+                score_view(&sw.shared, transforms, config.experiment.weights, &view)?;
             Ok(CostPoint {
                 fraction: config.fractions[fi],
                 replication: r,
                 strategy: strategy.name(),
                 strategy_index: si,
                 improvement,
-                distortion,
+                distortion: distortions[0].value,
+                distortions,
                 series_cleaned: selected.len(),
                 treated_report,
             })
@@ -242,20 +247,28 @@ pub fn cost_sweep_reference(data: &Dataset, config: &CostSweepConfig) -> Result<
                     let improvement =
                         index.improvement(&artifacts.dirty_matrices, &treated_matrices);
                     // Working-space distortion, matching
-                    // `PreparedExperiment::evaluate`.
-                    let distortion = statistical_distortion(
-                        &artifacts.dirty,
-                        &cleaned,
-                        prepared.transforms(),
-                        config.experiment.metric,
-                    )?;
+                    // `PreparedExperiment::evaluate` — one materialized
+                    // evaluation per requested metric.
+                    let mut distortions = Vec::with_capacity(config.experiment.metrics.len());
+                    for metric in &config.experiment.metrics {
+                        distortions.push(MetricScore {
+                            metric: metric.name(),
+                            value: statistical_distortion(
+                                &artifacts.dirty,
+                                &cleaned,
+                                prepared.transforms(),
+                                *metric,
+                            )?,
+                        });
+                    }
                     points.push(CostPoint {
                         fraction,
                         replication: i,
                         strategy: strategy.name(),
                         strategy_index: si,
                         improvement,
-                        distortion,
+                        distortion: distortions[0].value,
+                        distortions,
                         series_cleaned: partial.cleaned_indices.len(),
                         treated_report: GlitchReport::from_matrices(&treated_matrices),
                     });
@@ -363,6 +376,32 @@ mod tests {
                 a.fraction
             );
             assert_eq!(a.treated_report, b.treated_report);
+        }
+    }
+
+    #[test]
+    fn multi_metric_sweep_is_bit_identical_to_reference() {
+        let data = generate(&NetsimConfig::small(9)).dataset;
+        let mut config = sweep_config();
+        config.experiment.metrics = crate::DistortionMetric::full_suite();
+        let reference = cost_sweep_reference(&data, &config).unwrap();
+        let engine = cost_sweep(&data, &config).unwrap();
+        assert_eq!(reference.len(), engine.len());
+        for (a, b) in reference.iter().zip(&engine) {
+            assert_eq!(a.distortions.len(), 6);
+            assert_eq!(b.distortions.len(), 6);
+            assert_eq!(a.distortion.to_bits(), a.distortions[0].value.to_bits());
+            for (x, y) in a.distortions.iter().zip(&b.distortions) {
+                assert_eq!(x.metric, y.metric);
+                assert_eq!(
+                    x.value.to_bits(),
+                    y.value.to_bits(),
+                    "{} diverged at r={} f={}",
+                    x.metric,
+                    a.replication,
+                    a.fraction
+                );
+            }
         }
     }
 

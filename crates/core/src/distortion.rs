@@ -1,15 +1,18 @@
-use crate::{FrameworkError, Result};
+use crate::kernel::{
+    CvmKernel, DistortionKernel, EmdKernel, EnergyKernel, KlKernel, KsKernel, MahalanobisKernel,
+};
+use crate::Result;
 use sd_data::Dataset;
-use sd_emd::{DistanceScaling, GridEmd, PatchedCloud, SignatureCache};
-use sd_linalg::MahalanobisMetric;
-use sd_stats::{kl_divergence, AttributeTransform, GridHistogram, GridSpec};
-use std::collections::BTreeMap;
+use sd_emd::DistanceScaling;
+use sd_stats::AttributeTransform;
 
 /// The distance `d(D, D_C)` behind Definition 1.
 ///
 /// The paper names "the Earth Mover's, Kullback-Liebler or Mahalanobis
-/// distances" as candidates and uses EMD throughout its experiments; all
-/// three are implemented so the `ablation_distance` bench can compare them.
+/// distances" as candidates and uses EMD throughout its experiments. Each
+/// variant is a lightweight descriptor; [`DistortionMetric::kernel`] builds
+/// the corresponding [`DistortionKernel`], which owns both the materialized
+/// reference path and the engine's incremental `score_patch` path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DistortionMetric {
     /// Earth Mover's Distance between grid-quantized tuple clouds (the
@@ -21,7 +24,7 @@ pub enum DistortionMetric {
         scaling: DistanceScaling,
     },
     /// KL divergence `KL(dirty ‖ cleaned)` over the shared grid, with
-    /// epsilon smoothing for empty cells.
+    /// epsilon smoothing for empty cells ([`crate::KL_EPSILON`]).
     KlDivergence {
         /// Bins per attribute axis.
         bins: usize,
@@ -29,6 +32,18 @@ pub enum DistortionMetric {
     /// Mahalanobis distance between the mean tuples, under the dirty
     /// data's covariance.
     Mahalanobis,
+    /// Worst-axis two-sample Kolmogorov–Smirnov statistic over the
+    /// per-attribute marginals.
+    KolmogorovSmirnov,
+    /// Worst-axis two-sample Cramér–von Mises statistic over the
+    /// per-attribute marginals.
+    CramerVonMises,
+    /// Energy distance between the grid-quantized tuple clouds (robust
+    /// cover, normalized axis scaling — the EMD pipeline's defaults).
+    Energy {
+        /// Bins per attribute axis.
+        bins: usize,
+    },
 }
 
 impl DistortionMetric {
@@ -42,6 +57,38 @@ impl DistortionMetric {
         DistortionMetric::Emd {
             bins: 6,
             scaling: DistanceScaling::Normalized,
+        }
+    }
+
+    /// Every implemented kernel at its default resolution, EMD (the
+    /// paper's metric) first — the metric set behind the multi-metric
+    /// ablations and the `score_multi` perf row.
+    pub fn full_suite() -> Vec<DistortionMetric> {
+        vec![
+            DistortionMetric::paper_default(),
+            DistortionMetric::KlDivergence { bins: 6 },
+            DistortionMetric::Mahalanobis,
+            DistortionMetric::KolmogorovSmirnov,
+            DistortionMetric::CramerVonMises,
+            DistortionMetric::Energy { bins: 6 },
+        ]
+    }
+
+    /// The machine-readable kernel name recorded in results and JSON
+    /// artifacts.
+    pub fn name(&self) -> &'static str {
+        self.kernel().name()
+    }
+
+    /// Builds the [`DistortionKernel`] this descriptor denotes.
+    pub fn kernel(&self) -> Box<dyn DistortionKernel> {
+        match *self {
+            DistortionMetric::Emd { bins, scaling } => Box::new(EmdKernel { bins, scaling }),
+            DistortionMetric::KlDivergence { bins } => Box::new(KlKernel { bins }),
+            DistortionMetric::Mahalanobis => Box::new(MahalanobisKernel),
+            DistortionMetric::KolmogorovSmirnov => Box::new(KsKernel),
+            DistortionMetric::CramerVonMises => Box::new(CvmKernel),
+            DistortionMetric::Energy { bins } => Box::new(EnergyKernel { bins }),
         }
     }
 }
@@ -89,99 +136,15 @@ pub fn statistical_distortion(
     distortion_from_rows(&rows_d, &rows_c, metric)
 }
 
-/// Distortion between the cached dirty cloud and its cleaned counterpart
-/// expressed as sparse working-space row edits (the engine's hot path).
-///
-/// The EMD arm never materializes the cleaned cloud: sorted columns and
-/// the histogram are derived from the cached dirty side plus the edits,
-/// bit-identically to the materialized pipeline. The KL and Mahalanobis
-/// arms materialize the rows and take the ordinary path.
-pub(crate) fn distortion_patched(
-    dirty_cache: &SignatureCache,
-    edits: Vec<(usize, Vec<f64>)>,
-    metric: DistortionMetric,
-) -> Result<f64> {
-    let patched = PatchedCloud::new(dirty_cache, edits);
-    match metric {
-        DistortionMetric::Emd { bins, scaling } => {
-            let report = GridEmd::new(bins)
-                .with_scaling(scaling)
-                .with_max_exact_cells(60_000)
-                .distance_patched(&patched)
-                .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
-            Ok(report.emd)
-        }
-        other => {
-            let rows_c = patched.materialize();
-            distortion_from_rows(dirty_cache.rows(), &rows_c, other)
-        }
-    }
-}
-
-/// Distortion between already-pooled working-space rows (no cached state;
-/// the engine's sparse-edit entry point is [`distortion_patched`]).
+/// Distortion between already-pooled working-space rows — the materialized
+/// reference path ([`DistortionKernel::score_rows`]); the engine's
+/// incremental entry point is [`crate::PreparedKernel::score_patch`].
 pub(crate) fn distortion_from_rows(
     rows_d: &[Vec<f64>],
     rows_c: &[Vec<f64>],
     metric: DistortionMetric,
 ) -> Result<f64> {
-    match metric {
-        DistortionMetric::Emd { bins, scaling } => {
-            // Guard the exact solver: beyond ~60k occupied-cell pairs the
-            // transportation simplex gets slow and GridEmd falls back to
-            // Sinkhorn, which preserves the strategy ordering.
-            let report = GridEmd::new(bins)
-                .with_scaling(scaling)
-                .with_max_exact_cells(60_000)
-                .distance(rows_d, rows_c)
-                .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
-            Ok(report.emd)
-        }
-        DistortionMetric::KlDivergence { bins } => {
-            let spec = GridSpec::covering(rows_d, rows_c, bins)
-                .ok_or_else(|| FrameworkError::Distortion("empty data".into()))?;
-            let hd = GridHistogram::from_points(spec.clone(), rows_d);
-            let hc = GridHistogram::from_points(spec, rows_c);
-            if hd.total() == 0.0 || hc.total() == 0.0 {
-                return Err(FrameworkError::Distortion(
-                    "no complete records to compare".into(),
-                ));
-            }
-            // Align the two histograms over the union of occupied cells.
-            let mut union: BTreeMap<Vec<u32>, (f64, f64)> = BTreeMap::new();
-            for (cell, m) in hd.cell_masses() {
-                union.entry(cell).or_insert((0.0, 0.0)).0 = m / hd.total();
-            }
-            for (cell, m) in hc.cell_masses() {
-                union.entry(cell).or_insert((0.0, 0.0)).1 = m / hc.total();
-            }
-            let p: Vec<f64> = union.values().map(|&(a, _)| a).collect();
-            let q: Vec<f64> = union.values().map(|&(_, b)| b).collect();
-            Ok(kl_divergence(&p, &q, 1e-9))
-        }
-        DistortionMetric::Mahalanobis => {
-            let complete = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                rows.iter()
-                    .filter(|r| r.iter().all(|x| x.is_finite()))
-                    .cloned()
-                    .collect()
-            };
-            let cd = complete(rows_d);
-            let cc = complete(rows_c);
-            if cd.len() < 3 || cc.len() < 3 {
-                return Err(FrameworkError::Distortion(
-                    "too few complete records".into(),
-                ));
-            }
-            let metric = MahalanobisMetric::fit(&cd)
-                .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
-            let mean_c = sd_linalg::mean_vector(&cc)
-                .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
-            metric
-                .distance(&mean_c)
-                .map_err(|e| FrameworkError::Distortion(e.to_string()))
-        }
-    }
+    metric.kernel().score_rows(rows_d, rows_c)
 }
 
 #[cfg(test)]
@@ -205,11 +168,7 @@ mod tests {
     #[test]
     fn identical_datasets_have_near_zero_distortion() {
         let d = dataset(0.0);
-        for metric in [
-            DistortionMetric::paper_default(),
-            DistortionMetric::KlDivergence { bins: 8 },
-            DistortionMetric::Mahalanobis,
-        ] {
+        for metric in DistortionMetric::full_suite() {
             let s = statistical_distortion(&d, &d, &ID, metric).unwrap();
             assert!(s.abs() < 1e-6, "{metric:?} gave {s}");
         }
@@ -219,14 +178,19 @@ mod tests {
     fn shifted_dataset_has_positive_distortion() {
         let d = dataset(0.0);
         let c = dataset(5.0);
-        for metric in [
-            DistortionMetric::paper_default(),
-            DistortionMetric::KlDivergence { bins: 8 },
-            DistortionMetric::Mahalanobis,
-        ] {
+        for metric in DistortionMetric::full_suite() {
             let s = statistical_distortion(&d, &c, &ID, metric).unwrap();
-            assert!(s > 0.05, "{metric:?} gave {s}");
+            assert!(s > 0.01, "{metric:?} gave {s}");
         }
+    }
+
+    #[test]
+    fn metric_names_are_stable() {
+        let names: Vec<&'static str> = DistortionMetric::full_suite()
+            .iter()
+            .map(DistortionMetric::name)
+            .collect();
+        assert_eq!(names, ["emd", "kl", "mahalanobis", "ks", "cvm", "energy"]);
     }
 
     #[test]
@@ -289,8 +253,10 @@ mod tests {
         let mut c = dataset(0.0);
         c.series_mut()[0].set_missing(0, 5);
         c.series_mut()[0].set_missing(1, 9);
-        let s = statistical_distortion(&d, &c, &ID, DistortionMetric::paper_default()).unwrap();
-        assert!(s.is_finite() && s >= 0.0);
+        for metric in DistortionMetric::full_suite() {
+            let s = statistical_distortion(&d, &c, &ID, metric).unwrap();
+            assert!(s.is_finite() && s >= 0.0, "{metric:?} gave {s}");
+        }
     }
 
     #[test]

@@ -20,10 +20,14 @@
 //! * [`ReplicationArtifacts`] — test pair, fitted detector, cleaning
 //!   context, dirty annotations — built once per replication (previously
 //!   amortized inside the per-replication task; now shared across units);
-//! * the dirty sample's pooled working rows and per-axis **EMD signature
+//! * the dirty sample's pooled working rows and per-axis **signature
 //!   cache** ([`sd_emd::SignatureCache`]), so every distortion evaluation
 //!   reuses the dirty side's sorted columns and grid signatures instead of
 //!   rebuilding them per strategy;
+//! * one **prepared distortion kernel** per requested metric
+//!   ([`crate::DistortionKernel::prepare`]): the cleaning pass runs once
+//!   per unit and every kernel scores the same sparse patch incrementally
+//!   ([`crate::PreparedKernel::score_patch`]);
 //! * the MVN **imputation model** ([`sd_cleaning::ModelFit`]), fitted
 //!   lazily by the first model-imputing unit of the replication (the fit is
 //!   RNG-free and strategy-invariant);
@@ -58,15 +62,16 @@
 //! [`sd_glitch::WindowedOutlierDetector`] screen over each arrival's
 //! history. See [`crate::windowed`]'s docs.
 
-use crate::distortion::{distortion_patched, pooled_working_rows};
+use crate::distortion::pooled_working_rows;
 use crate::experiment::{PreparedExperiment, ReplicationArtifacts, StrategyOutcome};
-use crate::{parallel_map, DistortionMetric, ExperimentResult, Result};
+use crate::kernel::PreparedKernel;
+use crate::{parallel_map, DistortionMetric, ExperimentResult, MetricScore, Result};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningStrategy, CompositeStrategy, MissingTreatment, ModelFit};
 use sd_data::CleanedView;
-use sd_emd::SignatureCache;
+use sd_emd::{PatchedCloud, SignatureCache};
 use sd_glitch::{GlitchIndex, GlitchMatrix, GlitchReport, GlitchWeights};
 use sd_stats::AttributeTransform;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -192,12 +197,26 @@ where
     })
 }
 
+/// One requested metric's engine-side state: its name (for result rows)
+/// and its dirty-side prepared kernel.
+pub(crate) struct PreparedMetric {
+    /// Kernel name, recorded in every [`MetricScore`].
+    pub name: &'static str,
+    /// The kernel's prepared dirty-side state.
+    pub prepared: Box<dyn PreparedKernel>,
+}
+
 /// Everything one replication's strategy units share, behind one `Arc`.
 pub(crate) struct SharedReplication {
     /// The calibrated replication pipeline state.
     pub artifacts: ReplicationArtifacts,
     /// Signature cache over the dirty sample's pooled working rows.
     pub cache: SignatureCache,
+    /// One prepared distortion kernel per requested metric, in config
+    /// order — built alongside the cache in the group-slot build, so every
+    /// unit of the replication scores all metrics against shared
+    /// dirty-side state.
+    pub kernels: Vec<PreparedMetric>,
     /// Pooled-row offset of each series (series `i`'s record at time `t`
     /// is row `row_offsets[i] + t`).
     pub row_offsets: Vec<usize>,
@@ -208,10 +227,13 @@ pub(crate) struct SharedReplication {
     model: OnceLock<ModelFit>,
 }
 
-/// Builds the shared per-replication state from calibrated artifacts.
+/// Builds the shared per-replication state from calibrated artifacts:
+/// pooled dirty rows, the signature cache, and every requested kernel's
+/// prepared dirty side.
 pub(crate) fn share_replication(
     artifacts: ReplicationArtifacts,
     transforms: &[AttributeTransform],
+    metrics: &[DistortionMetric],
 ) -> SharedReplication {
     let rows = pooled_working_rows(&artifacts.dirty, transforms);
     let mut row_offsets = Vec::with_capacity(artifacts.dirty.num_series());
@@ -221,9 +243,21 @@ pub(crate) fn share_replication(
         offset += series.len();
     }
     let dirty_report = GlitchReport::from_matrices(&artifacts.dirty_matrices);
+    let cache = SignatureCache::new(rows);
+    let kernels = metrics
+        .iter()
+        .map(|metric| {
+            let kernel = metric.kernel();
+            PreparedMetric {
+                name: kernel.name(),
+                prepared: kernel.prepare(&cache),
+            }
+        })
+        .collect();
     SharedReplication {
         artifacts,
-        cache: SignatureCache::new(rows),
+        cache,
+        kernels,
         row_offsets,
         dirty_report,
         model: OnceLock::new(),
@@ -231,16 +265,15 @@ pub(crate) fn share_replication(
 }
 
 /// Scores one `(group, strategy)` unit against shared replication state:
-/// patch-clean, incremental re-detection, signature-cached distortion.
+/// patch-clean, incremental re-detection, kernel-scored distortion for
+/// every requested metric.
 ///
 /// `group` is the replication number in batch mode and the window index in
 /// windowed mode; it feeds both the outcome's `replication` field and the
 /// RNG derivation, which matches [`ReplicationArtifacts::apply`] exactly.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_unit(
     shared: &SharedReplication,
     transforms: &[AttributeTransform],
-    metric: DistortionMetric,
     weights: GlitchWeights,
     seed: u64,
     group: usize,
@@ -270,15 +303,16 @@ pub(crate) fn evaluate_unit(
         &mut rng,
         model,
     );
-    let (improvement, distortion, treated_report) =
-        score_view(shared, transforms, metric, weights, &view)?;
+    let (improvement, distortions, treated_report) =
+        score_view(shared, transforms, weights, &view)?;
 
     Ok(StrategyOutcome {
         strategy: strategy.name(),
         strategy_index,
         replication: group,
         improvement,
-        distortion,
+        distortion: distortions[0].value,
+        distortions,
         dirty_report: shared.dirty_report.clone(),
         treated_report,
         cleaning,
@@ -287,18 +321,19 @@ pub(crate) fn evaluate_unit(
 
 /// Scores one cleaned [`CleanedView`] against its replication's shared
 /// state: incremental re-detection on touched series, glitch improvement,
-/// and signature-cached patched distortion. Returns
-/// `(improvement, distortion, treated report)`.
+/// and one incremental `score_patch` per prepared kernel — the cleaning
+/// pass happens once, the patched cloud is derived once, and every
+/// requested metric scores it. Returns
+/// `(improvement, per-metric distortions, treated report)`.
 ///
 /// Shared by the batch/windowed strategy units and the cost-sweep budget
 /// units — every engine workload scores through this one path.
 pub(crate) fn score_view(
     shared: &SharedReplication,
     transforms: &[AttributeTransform],
-    metric: DistortionMetric,
     weights: GlitchWeights,
     view: &CleanedView<'_>,
-) -> Result<(f64, f64, GlitchReport)> {
+) -> Result<(f64, Vec<MetricScore>, GlitchReport)> {
     let artifacts = &shared.artifacts;
     // Re-detect only touched series; untouched series keep their dirty
     // annotations (detection is a pure per-series function).
@@ -332,10 +367,17 @@ pub(crate) fn score_view(
             new_row[a] = transforms[a].forward(e.value);
         }
     }
-    let distortion = distortion_patched(&shared.cache, row_edits, metric)?;
+    let patched = PatchedCloud::new(&shared.cache, row_edits);
+    let mut distortions = Vec::with_capacity(shared.kernels.len());
+    for kernel in &shared.kernels {
+        distortions.push(MetricScore {
+            metric: kernel.name,
+            value: kernel.prepared.score_patch(&patched)?,
+        });
+    }
     Ok((
         improvement,
-        distortion,
+        distortions,
         GlitchReport::from_matrices(&treated_matrices),
     ))
 }
@@ -354,12 +396,11 @@ pub(crate) fn run_batch<E: TaskExecutor>(
         executor,
         config.replications,
         strategies.len(),
-        |r| share_replication(prepared.replication(r), transforms),
+        |r| share_replication(prepared.replication(r), transforms, &config.metrics),
         |shared, r, s| {
             evaluate_unit(
                 shared,
                 transforms,
-                config.metric,
                 config.weights,
                 config.seed,
                 r,
@@ -372,7 +413,10 @@ pub(crate) fn run_batch<E: TaskExecutor>(
     for result in unit_results {
         outcomes.push(result?);
     }
-    Ok(ExperimentResult::from_outcomes(outcomes))
+    Ok(ExperimentResult::from_outcomes(
+        outcomes,
+        config.metrics.iter().map(DistortionMetric::name).collect(),
+    ))
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-use crate::{partition_ideal, statistical_distortion, DistortionMetric, Result};
+use crate::{partition_ideal, statistical_distortion, DistortionMetric, MetricScore, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningContext, CleaningOutcome, CleaningStrategy, CompositeStrategy};
@@ -28,8 +28,11 @@ pub struct ExperimentConfig {
     pub sigma_k: f64,
     /// Record-level cleanliness threshold for the ideal rule (paper: 5 %).
     pub ideal_threshold: f64,
-    /// Distortion distance.
-    pub metric: DistortionMetric,
+    /// Distortion distances. Every requested kernel is scored per
+    /// `(replication, strategy)` unit from one cleaning pass; the first
+    /// entry is the **primary** metric reported in
+    /// [`StrategyOutcome::distortion`]. Must be non-empty.
+    pub metrics: Vec<DistortionMetric>,
     /// Inconsistency rules (defaults to the paper's three, §4.1).
     pub constraints: ConstraintSet,
     /// Worker threads (0 = available parallelism).
@@ -48,7 +51,7 @@ impl ExperimentConfig {
             log_transform_attr1: true,
             sigma_k: 3.0,
             ideal_threshold: 0.05,
-            metric: DistortionMetric::paper_default(),
+            metrics: vec![DistortionMetric::paper_default()],
             constraints: ConstraintSet::paper_rules(0, 2),
             threads: 0,
         }
@@ -79,8 +82,12 @@ pub struct StrategyOutcome {
     pub replication: usize,
     /// Glitch improvement `G(D^i) − G(D^i_C)`.
     pub improvement: f64,
-    /// Statistical distortion `d(D^i, D^i_C)`.
+    /// Statistical distortion `d(D^i, D^i_C)` under the **primary**
+    /// metric (`metrics[0]`; equal to `distortions[0].value`).
     pub distortion: f64,
+    /// Per-metric distortions, in [`ExperimentConfig::metrics`] order —
+    /// every requested kernel scored from the same cleaning pass.
+    pub distortions: Vec<MetricScore>,
     /// Record-level glitch percentages of the dirty sample.
     pub dirty_report: GlitchReport,
     /// Record-level glitch percentages after treatment.
@@ -93,17 +100,27 @@ pub struct StrategyOutcome {
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     outcomes: Vec<StrategyOutcome>,
+    metrics: Vec<&'static str>,
 }
 
 impl ExperimentResult {
     /// Assembles a result from unit outcomes (engine-internal).
-    pub(crate) fn from_outcomes(outcomes: Vec<StrategyOutcome>) -> Self {
-        ExperimentResult { outcomes }
+    pub(crate) fn from_outcomes(
+        outcomes: Vec<StrategyOutcome>,
+        metrics: Vec<&'static str>,
+    ) -> Self {
+        ExperimentResult { outcomes, metrics }
     }
 
     /// Every `(strategy, replication)` outcome.
     pub fn outcomes(&self) -> &[StrategyOutcome] {
         &self.outcomes
+    }
+
+    /// The scored metric names, in [`ExperimentConfig::metrics`] order
+    /// (index `i` here matches `distortions[i]` in every outcome).
+    pub fn metrics(&self) -> &[&'static str] {
+        &self.metrics
     }
 
     /// Outcomes of one strategy, across replications.
@@ -114,15 +131,31 @@ impl ExperimentResult {
             .collect()
     }
 
-    /// Mean `(improvement, distortion)` of one strategy.
+    /// Mean `(improvement, distortion)` of one strategy under the primary
+    /// metric.
     pub fn mean_point(&self, strategy_index: usize) -> Option<(f64, f64)> {
+        self.mean_point_for_metric(strategy_index, 0)
+    }
+
+    /// Mean `(improvement, distortion)` of one strategy under the
+    /// `metric_index`-th requested metric (see
+    /// [`ExperimentResult::metrics`]).
+    pub fn mean_point_for_metric(
+        &self,
+        strategy_index: usize,
+        metric_index: usize,
+    ) -> Option<(f64, f64)> {
         let points = self.for_strategy(strategy_index);
-        if points.is_empty() {
+        if points.is_empty() || metric_index >= self.metrics.len() {
             return None;
         }
         let n = points.len() as f64;
         let imp = points.iter().map(|o| o.improvement).sum::<f64>() / n;
-        let dist = points.iter().map(|o| o.distortion).sum::<f64>() / n;
+        let dist = points
+            .iter()
+            .map(|o| o.distortions[metric_index].value)
+            .sum::<f64>()
+            / n;
         Some((imp, dist))
     }
 }
@@ -237,7 +270,9 @@ impl PreparedExperiment {
         crate::engine::run_batch(self, strategies, executor)
     }
 
-    /// Scores one strategy on one replication.
+    /// Scores one strategy on one replication the pre-engine way: full
+    /// clone, full re-detection, and one materialized distortion
+    /// evaluation per requested metric (the engine's bit-identity oracle).
     pub fn evaluate(
         &self,
         artifacts: &ReplicationArtifacts,
@@ -252,18 +287,25 @@ impl PreparedExperiment {
         // space for Attribute 1 when the factor is on): the analyst who
         // chose the transform evaluates distributional damage on that
         // scale, and it is where the Gaussian imputer's spread is visible.
-        let distortion = statistical_distortion(
-            &artifacts.dirty,
-            &cleaned,
-            &self.transforms,
-            self.config.metric,
-        )?;
+        let mut distortions = Vec::with_capacity(self.config.metrics.len());
+        for metric in &self.config.metrics {
+            distortions.push(MetricScore {
+                metric: metric.name(),
+                value: statistical_distortion(
+                    &artifacts.dirty,
+                    &cleaned,
+                    &self.transforms,
+                    *metric,
+                )?,
+            });
+        }
         Ok(StrategyOutcome {
             strategy: strategy.name(),
             strategy_index,
             replication: artifacts.replication,
             improvement,
-            distortion,
+            distortion: distortions[0].value,
+            distortions,
             dirty_report: GlitchReport::from_matrices(&artifacts.dirty_matrices),
             treated_report: GlitchReport::from_matrices(&treated_matrices),
             cleaning,
@@ -293,6 +335,11 @@ impl Experiment {
         if self.config.replications == 0 || self.config.sample_size == 0 {
             return Err(crate::FrameworkError::InvalidConfig(
                 "replications and sample size must be positive".into(),
+            ));
+        }
+        if self.config.metrics.is_empty() {
+            return Err(crate::FrameworkError::InvalidConfig(
+                "at least one distortion metric is required".into(),
             ));
         }
         let transforms = self.config.transforms(data.num_attributes());
@@ -417,6 +464,11 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut c = small_config();
         c.replications = 0;
+        assert!(Experiment::new(c)
+            .run(&data(), &[paper_strategy(1)])
+            .is_err());
+        let mut c = small_config();
+        c.metrics = Vec::new();
         assert!(Experiment::new(c)
             .run(&data(), &[paper_strategy(1)])
             .is_err());

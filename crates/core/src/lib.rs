@@ -11,8 +11,11 @@
 //! 1. **glitch improvement** `G(D) − G(D_C)` (weighted glitch index,
 //!    [`sd_glitch::GlitchIndex`]);
 //! 2. **statistical distortion** — EMD by default
-//!    ([`DistortionMetric::Emd`]), with KL divergence and Mahalanobis
-//!    distance as the alternatives Definition 1 names;
+//!    ([`DistortionMetric::Emd`]), with KL divergence, Mahalanobis,
+//!    Kolmogorov–Smirnov, Cramér–von Mises, and energy distance behind the
+//!    same pluggable [`DistortionKernel`] subsystem ([`kernel`]); an
+//!    experiment can score any set of them from one cleaning pass
+//!    ([`ExperimentConfig::metrics`]);
 //! 3. **cost** — proxied by the fraction of data cleaned (§5.2).
 //!
 //! [`Experiment`] orchestrates the §4 protocol end to end: identify the
@@ -57,6 +60,7 @@ mod error;
 mod experiment;
 mod figures;
 mod ideal;
+pub mod kernel;
 mod runner;
 mod tables;
 pub mod windowed;
@@ -75,6 +79,7 @@ pub use figures::{
     ScatterPoint, ScatterPointKind,
 };
 pub use ideal::{partition_ideal, IdealPartition};
+pub use kernel::{DistortionKernel, MetricScore, PreparedKernel, KL_EPSILON};
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};
 pub use windowed::{

@@ -37,7 +37,7 @@
 
 use crate::engine::{evaluate_unit, run_staged, share_replication, TaskExecutor};
 use crate::{
-    DistortionMetric, FrameworkError, ReplicationArtifacts, Result, StrategyOutcome,
+    DistortionMetric, FrameworkError, MetricScore, ReplicationArtifacts, Result, StrategyOutcome,
     ThreadPoolExecutor,
 };
 use parking_lot::Mutex;
@@ -113,8 +113,10 @@ pub struct WindowedConfig {
     pub constraints: ConstraintSet,
     /// Whether the natural-log factor applies to Attribute 1.
     pub log_transform_attr1: bool,
-    /// Distortion distance.
-    pub metric: DistortionMetric,
+    /// Distortion distances, all scored per `(window, strategy)` unit from
+    /// one cleaning pass; `metrics[0]` is the primary metric reported in
+    /// [`WindowOutcome::distortion`]. Must be non-empty.
+    pub metrics: Vec<DistortionMetric>,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
     /// How the history screen pools neighbour history.
@@ -139,7 +141,7 @@ impl WindowedConfig {
             weights: GlitchWeights::paper(),
             constraints: ConstraintSet::paper_rules(0, 2),
             log_transform_attr1: true,
-            metric: DistortionMetric::paper_default(),
+            metrics: vec![DistortionMetric::paper_default()],
             threads: 0,
             pooling: NeighborPooling::OwnOnly,
             topology: None,
@@ -184,8 +186,11 @@ pub struct WindowOutcome {
     pub strategy_index: usize,
     /// Glitch improvement within the window.
     pub improvement: f64,
-    /// Statistical distortion within the window.
+    /// Statistical distortion within the window under the primary metric
+    /// (`metrics[0]`; equal to `distortions[0].value`).
     pub distortion: f64,
+    /// Per-metric distortions, in [`WindowedConfig::metrics`] order.
+    pub distortions: Vec<MetricScore>,
     /// What the cleaning pass did in this window.
     pub cleaning: CleaningOutcome,
     /// Glitch percentages of the window before treatment.
@@ -200,6 +205,7 @@ pub struct WindowedResult {
     outcomes: Vec<WindowOutcome>,
     screens: Vec<WindowScreen>,
     num_windows: usize,
+    metrics: Vec<&'static str>,
 }
 
 impl WindowedResult {
@@ -213,18 +219,45 @@ impl WindowedResult {
         self.num_windows
     }
 
+    /// The scored metric names, in [`WindowedConfig::metrics`] order
+    /// (index `i` here matches `distortions[i]` in every outcome).
+    pub fn metrics(&self) -> &[&'static str] {
+        &self.metrics
+    }
+
     /// Per-window calibration screen results, in stream order.
     pub fn screens(&self) -> &[WindowScreen] {
         &self.screens
     }
 
     /// One strategy's per-window `(window_index, improvement, distortion)`
-    /// trajectory, in stream order.
+    /// trajectory under the primary metric, in stream order.
     pub fn trajectory(&self, strategy_index: usize) -> Vec<(usize, f64, f64)> {
+        self.trajectory_for_metric(strategy_index, 0)
+    }
+
+    /// One strategy's per-window trajectory under the `metric_index`-th
+    /// requested metric (see [`WindowedResult::metrics`]), in stream
+    /// order. Empty for an unknown strategy or metric index (matching
+    /// [`crate::ExperimentResult::mean_point_for_metric`]'s `None`).
+    pub fn trajectory_for_metric(
+        &self,
+        strategy_index: usize,
+        metric_index: usize,
+    ) -> Vec<(usize, f64, f64)> {
+        if metric_index >= self.metrics.len() {
+            return Vec::new();
+        }
         self.outcomes
             .iter()
             .filter(|o| o.strategy_index == strategy_index)
-            .map(|o| (o.window_index, o.improvement, o.distortion))
+            .map(|o| {
+                (
+                    o.window_index,
+                    o.improvement,
+                    o.distortions[metric_index].value,
+                )
+            })
             .collect()
     }
 
@@ -319,6 +352,17 @@ impl WindowedExperiment {
                 "window and stride must be positive".into(),
             ));
         }
+        if self.config.metrics.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "at least one distortion metric is required".into(),
+            ));
+        }
+        let metric_names: Vec<&'static str> = self
+            .config
+            .metrics
+            .iter()
+            .map(DistortionMetric::name)
+            .collect();
         let num_windows = self.num_windows(data);
         if num_windows == 0 {
             return Err(FrameworkError::InvalidConfig(
@@ -332,6 +376,7 @@ impl WindowedExperiment {
                 outcomes: Vec::new(),
                 screens: Vec::new(),
                 num_windows,
+                metrics: metric_names,
             });
         }
         let transforms = self.config.transforms(data.num_attributes());
@@ -349,13 +394,12 @@ impl WindowedExperiment {
             |w| {
                 let (artifacts, screen) = self.window_artifacts(data, w, &transforms, &neighbors);
                 screens.lock()[w] = Some(screen);
-                share_replication(artifacts, &transforms)
+                share_replication(artifacts, &transforms, &self.config.metrics)
             },
             |shared, w, s| {
                 evaluate_unit(
                     shared,
                     &transforms,
-                    self.config.metric,
                     self.config.weights,
                     self.config.seed,
                     w,
@@ -378,6 +422,7 @@ impl WindowedExperiment {
             outcomes,
             screens,
             num_windows,
+            metrics: metric_names,
         })
     }
 
@@ -538,6 +583,7 @@ impl WindowedExperiment {
             strategy_index: outcome.strategy_index,
             improvement: outcome.improvement,
             distortion: outcome.distortion,
+            distortions: outcome.distortions,
             cleaning: outcome.cleaning,
             dirty_report: outcome.dirty_report,
             treated_report: outcome.treated_report,
@@ -691,6 +737,61 @@ mod tests {
             assert!(o.improvement.is_finite());
             assert!(o.distortion.is_finite() && o.distortion >= 0.0);
         }
+    }
+
+    #[test]
+    fn multi_metric_windows_score_every_kernel_per_unit() {
+        let d = data();
+        let mut c = config();
+        c.metrics = DistortionMetric::full_suite();
+        let e = WindowedExperiment::new(c.clone());
+        let result = e.run(&d, &[paper_strategy(5)]).unwrap();
+        assert_eq!(
+            result.metrics(),
+            ["emd", "kl", "mahalanobis", "ks", "cvm", "energy"]
+        );
+        for o in result.outcomes() {
+            assert_eq!(o.distortions.len(), 6);
+            assert_eq!(o.distortion.to_bits(), o.distortions[0].value.to_bits());
+            for s in &o.distortions {
+                assert!(s.value.is_finite() && s.value >= 0.0, "{s:?}");
+            }
+        }
+        // Metric-indexed trajectories line up with the primary one; an
+        // out-of-range metric index yields an empty trajectory, not a
+        // panic.
+        assert_eq!(result.trajectory(0), result.trajectory_for_metric(0, 0));
+        assert_eq!(result.trajectory_for_metric(0, 3).len(), 5);
+        assert!(result.trajectory_for_metric(0, 6).is_empty());
+        // The primary column matches a dedicated single-metric run bit for
+        // bit, and the whole multi-metric run is executor-deterministic.
+        let mut single = c.clone();
+        single.metrics = vec![DistortionMetric::paper_default()];
+        let solo = WindowedExperiment::new(single)
+            .run(&d, &[paper_strategy(5)])
+            .unwrap();
+        for (m, s) in result.outcomes().iter().zip(solo.outcomes()) {
+            assert_eq!(m.distortion.to_bits(), s.distortion.to_bits());
+        }
+        let serial = WindowedExperiment::new(c)
+            .run_with(&d, &[paper_strategy(5)], &SerialExecutor)
+            .unwrap();
+        for (a, b) in result.outcomes().iter().zip(serial.outcomes()) {
+            for (x, y) in a.distortions.iter().zip(&b.distortions) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_metric_list_is_rejected() {
+        let d = data();
+        let mut c = config();
+        c.metrics = Vec::new();
+        let err = WindowedExperiment::new(c)
+            .run(&d, &[paper_strategy(1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("metric"));
     }
 
     #[test]

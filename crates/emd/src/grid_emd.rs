@@ -219,7 +219,7 @@ impl GridEmd {
             return Err(EmdError::EmptyInput);
         }
         let b_columns = patched.sorted_columns();
-        let spec = self.spec_from_column_pairs(cache.sorted_columns(), &b_columns);
+        let spec = self.spec_from_column_pairs(cache.sorted_columns(), b_columns);
         let scale = self.axis_scale(&spec);
         let side = cache.side_for(&spec, &scale)?;
         let qb = patched.quantize_on(&spec, &side.quant);

@@ -48,7 +48,8 @@ pub use error::EmdError;
 pub use flow::MinCostFlow;
 pub use grid_emd::{CoverRule, DistanceScaling, GridEmd, GridEmdReport, SolverUsed};
 pub use signature::{
-    euclidean, ground_distance_matrix, CachedSide, PatchedCloud, Signature, SignatureCache,
+    euclidean, ground_distance_matrix, quantize, scaled_signature, CachedSide, CloudQuant,
+    PatchedCloud, Signature, SignatureCache,
 };
 pub use sinkhorn::{sinkhorn, SinkhornParams};
 pub use transport::TransportProblem;

@@ -1,6 +1,6 @@
 use crate::{EmdError, Result};
 use sd_stats::{sorted_union_columns, GridHistogram, GridSpec};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A discrete distribution: weighted points in `R^d`.
 ///
@@ -99,9 +99,11 @@ impl Signature {
 }
 
 /// A signature whose point coordinates were divided per-axis before
-/// construction, built from `(cell centre, probability)` pairs. Shared by
-/// every [`crate::GridEmd`] path.
-pub(crate) fn scaled_signature(pairs: Vec<(Vec<f64>, f64)>, scale: &[f64]) -> Result<Signature> {
+/// construction, built from `(cell centre, probability)` pairs — e.g. a
+/// [`CloudQuant`]'s pairs. Shared by every [`crate::GridEmd`] path and by
+/// external distortion kernels that score quantized clouds on other
+/// distances (energy distance, KL) while reusing this crate's caches.
+pub fn scaled_signature(pairs: Vec<(Vec<f64>, f64)>, scale: &[f64]) -> Result<Signature> {
     let scaled: Vec<(Vec<f64>, f64)> = pairs
         .into_iter()
         .map(|(mut point, w)| {
@@ -151,10 +153,13 @@ fn flat_cell_of(spec: &GridSpec, point: &[f64]) -> Option<usize> {
 /// are exact integer counts (sums of 1.0), the pair order is ascending
 /// cell order in both (flat row-major index ⇔ lexicographic cell vector),
 /// and centres come from the same [`GridSpec::center_of`].
+///
+/// Public so distortion kernels outside this crate (KL, energy distance)
+/// can score the same cached quantizations the EMD pipeline uses.
 #[derive(Debug, Clone)]
-pub(crate) struct CloudQuant {
-    /// Dense per-cell counts (flat row-major), when the grid fits the
-    /// dense budget.
+pub struct CloudQuant {
+    /// Dense per-cell counts (flat row-major, ascending flat index ⇔
+    /// lexicographic cell order), when the grid fits the dense budget.
     pub counts: Option<Vec<f64>>,
     /// Total binned mass.
     pub total: f64,
@@ -166,8 +171,10 @@ pub(crate) struct CloudQuant {
     pub pairs: Vec<(Vec<f64>, f64)>,
 }
 
-/// Quantizes a cloud onto a grid, taking the dense path when it fits.
-pub(crate) fn quantize(spec: &GridSpec, rows: &[Vec<f64>]) -> CloudQuant {
+/// Quantizes a cloud onto a grid, taking the dense flat-array path when
+/// the grid fits the dense budget (bit-identical to the sparse
+/// [`GridHistogram`] path; see [`CloudQuant`]).
+pub fn quantize(spec: &GridSpec, rows: &[Vec<f64>]) -> CloudQuant {
     match dense_len(spec) {
         Some(len) => {
             let mut counts = vec![0.0f64; len];
@@ -234,8 +241,10 @@ pub struct CachedSide {
     spec: GridSpec,
     scale: Vec<f64>,
     /// The full quantization, including dense counts when the grid fits
-    /// the dense budget (the patched-cloud pipeline edits a copy of them).
-    pub(crate) quant: CloudQuant,
+    /// the dense budget (the patched-cloud pipeline — and any external
+    /// kernel calling [`PatchedCloud::quantize_on`] — edits a copy of
+    /// them).
+    pub quant: CloudQuant,
     /// The scaled signature of the cached cloud on this grid.
     pub signature: Signature,
     /// Occupied cells of the cached cloud's histogram.
@@ -294,7 +303,11 @@ impl SignatureCache {
 
     /// The cached cloud's per-axis sorted columns (one half of the
     /// cover-rule input; the other half comes from the counterpart cloud).
-    pub(crate) fn sorted_columns(&self) -> &[Vec<f64>] {
+    /// Sorted by [`f64::total_cmp`], NaN-free — exactly
+    /// [`sd_stats::sorted_union_columns`] of the cloud alone, so external
+    /// kernels comparing sorted marginals (KS, Cramér–von Mises) read the
+    /// same columns the EMD cover rule consumes.
+    pub fn sorted_columns(&self) -> &[Vec<f64>] {
         &self.sorted_columns
     }
 
@@ -372,6 +385,9 @@ pub struct PatchedCloud<'a> {
     cache: &'a SignatureCache,
     /// `(row index, replacement row)`, ascending and unique by row.
     edits: Vec<(usize, Vec<f64>)>,
+    /// Derived sorted columns, memoized so every kernel scoring this
+    /// patched cloud (EMD, KL, KS, …) shares one derivation.
+    columns_memo: OnceLock<Vec<Vec<f64>>>,
 }
 
 impl<'a> PatchedCloud<'a> {
@@ -389,7 +405,11 @@ impl<'a> PatchedCloud<'a> {
             edits.windows(2).all(|w| w[0].0 < w[1].0),
             "duplicate edit rows"
         );
-        PatchedCloud { cache, edits }
+        PatchedCloud {
+            cache,
+            edits,
+            columns_memo: OnceLock::new(),
+        }
     }
 
     /// The cache this patch applies to.
@@ -400,6 +420,11 @@ impl<'a> PatchedCloud<'a> {
     /// Number of replaced rows.
     pub fn num_edits(&self) -> usize {
         self.edits.len()
+    }
+
+    /// The row edits, ascending and unique by row index.
+    pub fn edits(&self) -> &[(usize, Vec<f64>)] {
+        &self.edits
     }
 
     /// The fully materialized counterpart cloud (base rows with edits
@@ -414,34 +439,42 @@ impl<'a> PatchedCloud<'a> {
 
     /// Per-axis sorted columns of the patched cloud, derived from the
     /// cached sorted columns: remove each edited row's old value, merge in
-    /// its new value.
-    pub(crate) fn sorted_columns(&self) -> Vec<Vec<f64>> {
-        let dim = self.cache.sorted_columns.len();
-        let mut out = Vec::with_capacity(dim);
-        let mut removed = Vec::new();
-        let mut added = Vec::new();
-        for (k, col) in self.cache.sorted_columns.iter().enumerate() {
-            removed.clear();
-            added.clear();
-            for (row, new_row) in &self.edits {
-                let old = self.cache.rows()[*row][k];
-                if !old.is_nan() {
-                    removed.push(old);
+    /// its new value. Multiset edits under [`f64::total_cmp`] are
+    /// bit-precise, so the result equals sorting the materialized cloud
+    /// from scratch. Derived once and memoized — every kernel scoring this
+    /// patched cloud shares the same columns.
+    pub fn sorted_columns(&self) -> &[Vec<f64>] {
+        self.columns_memo.get_or_init(|| {
+            let dim = self.cache.sorted_columns.len();
+            let mut out = Vec::with_capacity(dim);
+            let mut removed = Vec::new();
+            let mut added = Vec::new();
+            for (k, col) in self.cache.sorted_columns.iter().enumerate() {
+                removed.clear();
+                added.clear();
+                for (row, new_row) in &self.edits {
+                    let old = self.cache.rows()[*row][k];
+                    if !old.is_nan() {
+                        removed.push(old);
+                    }
+                    if !new_row[k].is_nan() {
+                        added.push(new_row[k]);
+                    }
                 }
-                if !new_row[k].is_nan() {
-                    added.push(new_row[k]);
-                }
+                removed.sort_by(f64::total_cmp);
+                added.sort_by(f64::total_cmp);
+                out.push(remove_then_merge(col, &removed, &added));
             }
-            removed.sort_by(f64::total_cmp);
-            added.sort_by(f64::total_cmp);
-            out.push(remove_then_merge(col, &removed, &added));
-        }
-        out
+            out
+        })
     }
 
     /// The patched cloud's quantization on `spec`, derived incrementally
-    /// from the cached side's dense counts when available.
-    pub(crate) fn quantize_on(&self, spec: &GridSpec, base: &CloudQuant) -> CloudQuant {
+    /// from the cached side's dense counts when available (`base` is the
+    /// cached cloud's own quantization on the same `spec`, i.e.
+    /// [`CachedSide::quant`]); falls back to materializing on sparse
+    /// grids. Bit-identical to [`quantize`] on the materialized cloud.
+    pub fn quantize_on(&self, spec: &GridSpec, base: &CloudQuant) -> CloudQuant {
         match &base.counts {
             Some(counts) => {
                 let mut counts = counts.clone();

@@ -97,7 +97,7 @@ fn main() {
             &artifacts.dirty,
             &cleaned,
             prepared.transforms(),
-            config.metric,
+            config.metrics[0],
         )
         .expect("distortion");
     }

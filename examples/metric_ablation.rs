@@ -1,0 +1,94 @@
+//! Metric ablation: score the paper's five cleaning strategies under all
+//! six distortion kernels — EMD (the paper's choice), KL divergence,
+//! Mahalanobis, Kolmogorov–Smirnov, Cramér–von Mises, and energy distance
+//! — over **one** replication set. Detection and cleaning run once per
+//! `(replication, strategy)` unit; every kernel scores the same cleaned
+//! patch incrementally, so the whole ablation costs roughly one
+//! experiment run instead of six.
+//!
+//! CleanML-style motivation: conclusions about a cleaning strategy can
+//! flip with the evaluation measure. Printing the full strategy × metric
+//! grid makes the sensitivity visible at a glance.
+//!
+//! ```text
+//! SD_SCALE=small cargo run --release --example metric_ablation
+//! ```
+
+use statistical_distortion::prelude::*;
+
+fn main() {
+    let small = std::env::var("SD_SCALE").is_ok_and(|v| v == "small");
+    let data = if small {
+        generate(&NetsimConfig::small(21)).dataset
+    } else {
+        generate(&NetsimConfig::harness_scale(21)).dataset
+    };
+
+    let mut config = ExperimentConfig::paper_default(if small { 20 } else { 100 }, 21);
+    config.replications = if small { 4 } else { 12 };
+    config.metrics = DistortionMetric::full_suite();
+
+    let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+    let result = Experiment::new(config.clone())
+        .run(&data, &strategies)
+        .expect("multi-metric experiment should run");
+
+    // The strategy × metric grid of mean distortions.
+    let metric_names = result.metrics().to_vec();
+    print!("{:<34} {:>12}", "strategy", "improvement");
+    for name in &metric_names {
+        print!(" {name:>12}");
+    }
+    println!();
+    for (si, strategy) in strategies.iter().enumerate() {
+        let (improvement, _) = result.mean_point(si).expect("strategy evaluated");
+        print!("{:<34} {improvement:>12.3}", strategy.name());
+        for mi in 0..metric_names.len() {
+            let (_, distortion) = result
+                .mean_point_for_metric(si, mi)
+                .expect("metric evaluated");
+            print!(" {distortion:>12.4}");
+        }
+        println!();
+    }
+
+    // Every kernel must order the no-op-ish spectrum sanely: all scores
+    // finite and non-negative, recorded per outcome in config order.
+    for outcome in result.outcomes() {
+        assert_eq!(outcome.distortions.len(), metric_names.len());
+        assert_eq!(outcome.distortion, outcome.distortions[0].value);
+        for score in &outcome.distortions {
+            assert!(
+                score.value.is_finite() && score.value >= 0.0,
+                "{} gave {}",
+                score.metric,
+                score.value
+            );
+        }
+    }
+
+    // The multi-metric run's primary (EMD) column is bit-identical to a
+    // dedicated single-metric run — scoring five extra kernels may not
+    // perturb the paper's metric.
+    let mut single = config;
+    single.metrics = vec![DistortionMetric::paper_default()];
+    let emd_only = Experiment::new(single)
+        .run(&data, &strategies)
+        .expect("single-metric experiment should run");
+    for (multi, solo) in result.outcomes().iter().zip(emd_only.outcomes()) {
+        assert_eq!(multi.distortion.to_bits(), solo.distortion.to_bits());
+    }
+    println!(
+        "\nverified: the multi-metric run's EMD column is bit-identical to \
+         a dedicated EMD-only run ({} outcomes × {} metrics from one \
+         cleaning pass each).",
+        result.outcomes().len(),
+        metric_names.len()
+    );
+
+    println!(
+        "\nReading: row order can change column to column — the choice of \
+         distance is part of the experimental design, which is why the \
+         engine scores every requested kernel from the same cleaning pass."
+    );
+}

@@ -67,9 +67,9 @@ pub mod prelude {
     };
     pub use sd_core::{
         budget_tradeoff, cost_sweep, cost_sweep_reference, partition_ideal, statistical_distortion,
-        CostSweepConfig, DistortionMetric, Experiment, ExperimentConfig, ExperimentResult,
-        NeighborPooling, StrategyOutcome, TaskExecutor, ThreadPoolExecutor, WindowedConfig,
-        WindowedExperiment, WindowedResult,
+        CostSweepConfig, DistortionKernel, DistortionMetric, Experiment, ExperimentConfig,
+        ExperimentResult, MetricScore, NeighborPooling, PreparedKernel, StrategyOutcome,
+        TaskExecutor, ThreadPoolExecutor, WindowedConfig, WindowedExperiment, WindowedResult,
     };
     pub use sd_data::{Dataset, NodeId, TimeSeries, Topology};
     pub use sd_emd::{emd, emd_1d_samples, GridEmd, Signature};

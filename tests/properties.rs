@@ -283,6 +283,89 @@ fn cleaning_fixture(
     (dirty, glitches, ctx)
 }
 
+/// A random working-space cloud for the kernel equivalence property:
+/// `rows × 3` values spanning several scales, with occasional NaN gaps
+/// (missing cells survive pooling as NaN).
+fn kernel_cloud(seed: u64, rows: usize) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    (0..rows)
+        .map(|_| {
+            (0..3)
+                .map(|k| {
+                    let x = next();
+                    if x < 0.04 {
+                        f64::NAN
+                    } else {
+                        x * [120.0, 9.0, 1.5][k] - [10.0, 0.0, 0.7][k]
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every distortion kernel's incremental `score_patch` path must be
+    /// bit-identical to its materialized `score_rows` path (the
+    /// patch-vs-clone pattern, extended from cleaning to scoring): random
+    /// dirty cloud, random sparse row edits, all six kernels.
+    #[test]
+    fn kernel_score_patch_is_bit_identical_to_materialized(
+        seed in 0u64..5_000,
+        rows in 8usize..80,
+        num_edits in 0usize..24,
+    ) {
+        use statistical_distortion::core::DistortionMetric;
+        use statistical_distortion::emd::{PatchedCloud, SignatureCache};
+
+        let base = kernel_cloud(seed, rows);
+        // Distinct edit rows with fresh values (and occasional NaN).
+        let replacements = kernel_cloud(seed ^ 0xFEED, num_edits.min(rows));
+        let edits: Vec<(usize, Vec<f64>)> = replacements
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| ((i * 7 + seed as usize) % rows, row))
+            .collect::<std::collections::BTreeMap<usize, Vec<f64>>>()
+            .into_iter()
+            .collect();
+
+        let cache = SignatureCache::new(base.clone());
+        let patched = PatchedCloud::new(&cache, edits);
+        let materialized = patched.materialize();
+        for metric in DistortionMetric::full_suite() {
+            let kernel = metric.kernel();
+            let fast = kernel.prepare(&cache).score_patch(&patched);
+            let direct = kernel.score_rows(&base, &materialized);
+            match (fast, direct) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} diverged: patched {} vs materialized {}",
+                    kernel.name(),
+                    a,
+                    b
+                ),
+                (Err(_), Err(_)) => {} // both paths reject (e.g. too few complete rows)
+                (fast, direct) => prop_assert!(
+                    false,
+                    "{}: one path failed, the other did not ({:?} vs {:?})",
+                    kernel.name(),
+                    fast,
+                    direct
+                ),
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
