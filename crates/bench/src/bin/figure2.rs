@@ -15,7 +15,8 @@ use sd_core::budget_tradeoff;
 
 fn main() {
     let harness = HarnessConfig::from_env();
-    let points = budget_tradeoff(20_000, 0.2, harness.seed);
+    let points = budget_tradeoff(20_000, 0.2, harness.seed)
+        .expect("20k-sample 20 %-missing trade-off is well-posed");
 
     println!(
         "{:<36} {:>12} {:>12}",

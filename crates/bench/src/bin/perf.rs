@@ -34,8 +34,9 @@ use sd_bench::synth::{grid_cloud_pair, transport_instance};
 use sd_bench::{HarnessConfig, Scale};
 use sd_cleaning::paper_strategy;
 use sd_core::{
-    cost_sweep, cost_sweep_reference, CostSweepConfig, DistortionMetric, Experiment,
-    ExperimentConfig,
+    budget_optimize, budget_optimize_reference, cost_sweep, cost_sweep_reference,
+    BudgetOptimizerConfig, CostModel, CostSweepConfig, DistortionMetric, Experiment,
+    ExperimentConfig, SelectionPolicy,
 };
 use sd_emd::{
     sinkhorn, GridEmd, MinCostFlow, PatchedCloud, SignatureCache, SinkhornParams, TransportProblem,
@@ -336,6 +337,50 @@ fn main() {
             },
         ) / units;
         record("cost_sweep_ref", config.sample_size, us);
+    }
+
+    // Budget-optimizer unit: one (replication × budget) frontier point of
+    // the greedy budgeted-cleaning policy. The engine row plans each
+    // trajectory on the shared signature cache and scores every candidate
+    // union incrementally through `score_edits`; the `_ref` row is the
+    // preserved replication-granular path that materializes the full
+    // cleaned cloud for every one of those candidate evaluations, so the
+    // incremental-kernel speedup stays measurable PR-over-PR.
+    {
+        let reps = match harness.scale {
+            Scale::Small => 2,
+            Scale::Harness => 4,
+            Scale::Paper => 8,
+        };
+        let mut opt_experiment = config.clone();
+        opt_experiment.replications = reps;
+        let opt = BudgetOptimizerConfig {
+            experiment: opt_experiment,
+            strategies: vec![paper_strategy(1)],
+            budgets: vec![0.0, 25.0, 100.0],
+            cost_model: CostModel::uniform(),
+            policy: SelectionPolicy::Greedy,
+            distortion_weight: 0.1,
+        };
+        let units = (reps * opt.budgets.len()) as f64;
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let points = budget_optimize(black_box(&data), &opt).unwrap();
+                points.len() as f64
+            },
+        ) / units;
+        record("budget_opt", config.sample_size, us);
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let points = budget_optimize_reference(black_box(&data), &opt).unwrap();
+                points.len() as f64
+            },
+        ) / units;
+        record("budget_opt_ref", config.sample_size, us);
     }
 
     harness.write_json(

@@ -1,3 +1,4 @@
+use crate::error::FrameworkError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
@@ -56,9 +57,36 @@ pub struct BudgetPoint {
 /// fixes 40 % with little distortion; re-measuring fixes 30 % with almost
 /// none. The returned points trace exactly the trade-off curve of the
 /// figure.
-pub fn budget_tradeoff(n: usize, missing_fraction: f64, seed: u64) -> Vec<BudgetPoint> {
-    assert!(n > 10, "need a meaningful sample");
-    assert!((0.0..1.0).contains(&missing_fraction), "fraction in [0,1)");
+///
+/// # Errors
+///
+/// * [`FrameworkError::InvalidConfig`] when `n ≤ 10` or `missing_fraction`
+///   lies outside `[0, 1)`.
+/// * [`FrameworkError::EmptyObserved`] when the stochastic missing mask
+///   deletes *every* draw — possible at any `missing_fraction > 0`, and
+///   nearly certain for small `n` at fractions close to 1. There is then
+///   no observed distribution to treat or to measure distortion against.
+/// * [`FrameworkError::Distortion`] if the EMD between observed and
+///   treated samples cannot be computed.
+///
+/// When the mask happens to delete *nothing* (`missing_fraction = 0`, or
+/// luck), every scenario trivially fixes all zero glitches: the points
+/// report 100 % improvement and zero distortion.
+pub fn budget_tradeoff(
+    n: usize,
+    missing_fraction: f64,
+    seed: u64,
+) -> Result<Vec<BudgetPoint>, FrameworkError> {
+    if n <= 10 {
+        return Err(FrameworkError::InvalidConfig(format!(
+            "need a meaningful sample (n > 10, got {n})"
+        )));
+    }
+    if !(0.0..1.0).contains(&missing_fraction) {
+        return Err(FrameworkError::InvalidConfig(format!(
+            "missing fraction must lie in [0, 1), got {missing_fraction}"
+        )));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = LogNormal::new(3.0, 0.8).expect("valid lognormal");
 
@@ -73,8 +101,14 @@ pub fn budget_tradeoff(n: usize, missing_fraction: f64, seed: u64) -> Vec<Budget
         .filter(|(_, &m)| !m)
         .map(|(&x, _)| x)
         .collect();
-    let num_missing = missing.iter().filter(|&&m| m).count().max(1);
-    let observed_mean = observed.iter().sum::<f64>() / observed.len().max(1) as f64;
+    if observed.is_empty() {
+        return Err(FrameworkError::EmptyObserved {
+            n,
+            missing_fraction,
+        });
+    }
+    let num_missing = missing.iter().filter(|&&m| m).count();
+    let observed_mean = observed.iter().sum::<f64>() / observed.len() as f64;
 
     let mut points = Vec::with_capacity(3);
     for scenario in [
@@ -102,14 +136,21 @@ pub fn budget_tradeoff(n: usize, missing_fraction: f64, seed: u64) -> Vec<Budget
             treated.push(repair);
             fixed += 1;
         }
-        let distortion = emd_1d_samples(&observed, &treated).expect("non-empty samples");
+        let distortion = emd_1d_samples(&observed, &treated)
+            .map_err(|e| FrameworkError::Distortion(e.to_string()))?;
+        // With zero glitches every scenario trivially fixes all of them.
+        let glitch_improvement_pct = if num_missing == 0 {
+            100.0
+        } else {
+            100.0 * fixed as f64 / num_missing as f64
+        };
         points.push(BudgetPoint {
             scenario,
-            glitch_improvement_pct: 100.0 * fixed as f64 / num_missing as f64,
+            glitch_improvement_pct,
             distortion,
         });
     }
-    points
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -118,7 +159,7 @@ mod tests {
 
     #[test]
     fn coverage_ordering_matches_figure2() {
-        let points = budget_tradeoff(5000, 0.2, 7);
+        let points = budget_tradeoff(5000, 0.2, 7).unwrap();
         assert_eq!(points.len(), 3);
         let cheap = &points[0];
         let medium = &points[1];
@@ -136,7 +177,7 @@ mod tests {
         let mut medium = 0.0;
         let mut expensive = 0.0;
         for seed in 0..10 {
-            let points = budget_tradeoff(4000, 0.2, seed);
+            let points = budget_tradeoff(4000, 0.2, seed).unwrap();
             cheap += points[0].distortion;
             medium += points[1].distortion;
             expensive += points[2].distortion;
@@ -163,8 +204,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fraction")]
-    fn invalid_fraction_panics() {
-        budget_tradeoff(100, 1.0, 1);
+    fn invalid_fraction_is_an_error() {
+        let err = budget_tradeoff(100, 1.0, 1).unwrap_err();
+        assert!(err.to_string().contains("fraction"), "{err}");
+        let err = budget_tradeoff(100, -0.1, 1).unwrap_err();
+        assert!(err.to_string().contains("fraction"), "{err}");
+    }
+
+    #[test]
+    fn small_sample_is_an_error() {
+        assert!(matches!(
+            budget_tradeoff(10, 0.2, 1),
+            Err(FrameworkError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn near_total_missingness_never_panics() {
+        // Regression: `missing_fraction` close to 1 at small `n` used to
+        // panic on `gen_range(0..0)` / empty-sample EMD once the mask
+        // deleted everything. Now every seed yields either a valid curve
+        // or a structured EmptyObserved error.
+        let mut saw_empty = false;
+        for seed in 0..20 {
+            match budget_tradeoff(11, 0.999, seed) {
+                Ok(points) => assert_eq!(points.len(), 3),
+                Err(FrameworkError::EmptyObserved {
+                    n,
+                    missing_fraction,
+                }) => {
+                    assert_eq!(n, 11);
+                    assert!((missing_fraction - 0.999).abs() < 1e-12);
+                    saw_empty = true;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(saw_empty, "0.999^11 per seed should empty at least one");
+    }
+
+    #[test]
+    fn zero_missing_fraction_reports_trivial_cleanup() {
+        // In-domain edge: nothing goes missing, so every scenario fixes
+        // all zero glitches with zero distortion.
+        let points = budget_tradeoff(200, 0.0, 3).unwrap();
+        for p in points {
+            assert!((p.glitch_improvement_pct - 100.0).abs() < 1e-12);
+            assert_eq!(p.distortion, 0.0);
+        }
     }
 }

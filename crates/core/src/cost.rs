@@ -46,8 +46,17 @@ use sd_cleaning::{
     CleaningStrategy, CompositeStrategy, MissingTreatment, ModelFit, PartialCleaner,
 };
 use sd_data::Dataset;
-use sd_glitch::{GlitchIndex, GlitchReport};
+use sd_glitch::{GlitchIndex, GlitchMatrix, GlitchReport};
 use std::sync::OnceLock;
+
+/// The paper's cost-axis ordering, shared by this sweep's fraction
+/// prefixes and the budget optimizer's dirtiest-first baseline policy
+/// ([`crate::SelectionPolicy::DirtiestFirst`]): a stable dirtiest-first
+/// series ranking (normalized glitch score descending, index ascending) of
+/// one replication's annotations.
+pub(crate) fn dirtiest_ranking(index: &GlitchIndex, matrices: &[GlitchMatrix]) -> Vec<usize> {
+    index.rank_dirtiest(matrices)
+}
 
 /// Configuration of the §5.2 / Figure 7 cost study.
 #[derive(Debug, Clone)]
@@ -143,7 +152,7 @@ pub fn cost_sweep_with<E: TaskExecutor>(
             );
             // One dirtiest-first ranking per replication; every fraction's
             // selection is a prefix of it.
-            let ranked = index.rank_dirtiest(&shared.artifacts.dirty_matrices);
+            let ranked = dirtiest_ranking(&index, &shared.artifacts.dirty_matrices);
             let selections = config
                 .fractions
                 .iter()

@@ -61,6 +61,16 @@
 //! per-window artifacts calibrated by a
 //! [`sd_glitch::WindowedOutlierDetector`] screen over each arrival's
 //! history. See [`crate::windowed`]'s docs.
+//!
+//! # Cost-sweep and budget-optimizer workloads
+//!
+//! [`crate::cost_sweep`] drains `(replication, strategy × fraction)` units
+//! over the same groups, and [`crate::budget_optimize`] drains
+//! `(replication, strategy × budget)` units: both reuse the replication's
+//! `SharedReplication` slot and score through `score_view`-style
+//! incremental kernels. The optimizer additionally shares each
+//! `(replication, strategy)` purchase trajectory across its budget units —
+//! see [`crate::optimize`]'s docs for the unit shape.
 
 use crate::distortion::pooled_working_rows;
 use crate::experiment::{PreparedExperiment, ReplicationArtifacts, StrategyOutcome};
@@ -227,6 +237,23 @@ pub(crate) struct SharedReplication {
     model: OnceLock<ModelFit>,
 }
 
+impl SharedReplication {
+    /// The replication's shared MVN imputation model, fitted by the first
+    /// caller (on the full dirty sample, no missingness mask) and reused by
+    /// every later unit of the group. Strategy- and schedule-invariant, so
+    /// sharing cannot change bits.
+    pub(crate) fn model_fit(&self) -> &ModelFit {
+        self.model.get_or_init(|| {
+            ModelFit::fit(
+                &self.artifacts.dirty,
+                &self.artifacts.dirty_matrices,
+                &self.artifacts.context,
+                None,
+            )
+        })
+    }
+}
+
 /// Builds the shared per-replication state from calibrated artifacts:
 /// pooled dirty rows, the signature cache, and every requested kernel's
 /// prepared dirty side.
@@ -282,14 +309,7 @@ pub(crate) fn evaluate_unit(
 ) -> Result<StrategyOutcome> {
     let artifacts = &shared.artifacts;
     let model = if strategy.missing_treatment() == MissingTreatment::ModelImpute {
-        Some(shared.model.get_or_init(|| {
-            ModelFit::fit(
-                &artifacts.dirty,
-                &artifacts.dirty_matrices,
-                &artifacts.context,
-                None,
-            )
-        }))
+        Some(shared.model_fit())
     } else {
         None
     };
@@ -479,6 +499,55 @@ mod tests {
             1,
             "cleared with the last unit"
         );
+    }
+
+    #[test]
+    fn panicking_unit_does_not_poison_shared_cache() {
+        // Regression for the std::sync → parking_lot Mutex switch in
+        // `SignatureCache`: one unit panicking mid-queue must neither stop
+        // the surviving workers from finishing their units nor leave the
+        // shared memo lock poisoned for later users.
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![i as f64, (i * 7 % 5) as f64])
+            .collect();
+        let spec = sd_stats::GridSpec::covering(&rows, &rows, 4).expect("non-degenerate grid");
+        let cache = SignatureCache::new(rows);
+        let completed = AtomicUsize::new(0);
+
+        // The panic is deliberate; silence its report while it unwinds.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_staged(
+                &ThreadPoolExecutor::new(2),
+                1,
+                8,
+                |_| (),
+                |(), _, u| {
+                    let side = cache.side_for(&spec, &[1.0, 1.0]).expect("cacheable side");
+                    assert!(side.occupied > 0);
+                    if u == 3 {
+                        panic!("unit 3 dies mid-queue");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        }));
+        std::panic::set_hook(default_hook);
+
+        assert!(
+            outcome.is_err(),
+            "the unit panic must propagate to the caller"
+        );
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            7,
+            "surviving workers drain every other unit"
+        );
+        // The memoized side survives the panic: the lock is not poisoned
+        // and the entry built before the crash is still served.
+        assert!(cache.memoized() >= 1);
+        assert!(cache.side_for(&spec, &[1.0, 1.0]).is_ok());
     }
 
     #[test]

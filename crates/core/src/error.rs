@@ -14,6 +14,14 @@ pub enum FrameworkError {
     Distortion(String),
     /// Invalid experiment configuration.
     InvalidConfig(String),
+    /// A stochastic draw left the observed sample empty — every value went
+    /// missing, so there is nothing to treat or compare against.
+    EmptyObserved {
+        /// Requested sample size.
+        n: usize,
+        /// Requested missing fraction.
+        missing_fraction: f64,
+    },
 }
 
 impl fmt::Display for FrameworkError {
@@ -29,6 +37,14 @@ impl fmt::Display for FrameworkError {
             }
             FrameworkError::Distortion(msg) => write!(f, "distortion computation failed: {msg}"),
             FrameworkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FrameworkError::EmptyObserved {
+                n,
+                missing_fraction,
+            } => write!(
+                f,
+                "observed sample is empty: all {n} draws went missing \
+                 (missing fraction {missing_fraction})"
+            ),
         }
     }
 }
@@ -51,5 +67,11 @@ mod tests {
         assert!(FrameworkError::InvalidConfig("y".into())
             .to_string()
             .contains("y"));
+        assert!(FrameworkError::EmptyObserved {
+            n: 12,
+            missing_fraction: 0.99
+        }
+        .to_string()
+        .contains("12 draws"));
     }
 }

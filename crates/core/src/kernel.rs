@@ -118,6 +118,18 @@ pub trait PreparedKernel: Send + Sync {
     /// cache this state was prepared from. Bit-identical to the kernel's
     /// [`DistortionKernel::score_rows`] on `patched.materialize()`.
     fn score_patch(&self, patched: &PatchedCloud<'_>) -> Result<f64>;
+
+    /// Convenience wrapper for callers that hold raw `(row, values)` edits
+    /// instead of a built [`PatchedCloud`] — the budget optimizer's
+    /// marginal-score hook: one candidate purchase is one edit set, and
+    /// its marginal distortion is this score against the unchanged cache.
+    fn score_edits(
+        &self,
+        cache: &SignatureCache,
+        row_edits: Vec<(usize, Vec<f64>)>,
+    ) -> Result<f64> {
+        self.score_patch(&PatchedCloud::new(cache, row_edits))
+    }
 }
 
 fn distortion_err(e: impl std::fmt::Display) -> FrameworkError {

@@ -61,6 +61,7 @@ mod experiment;
 mod figures;
 mod ideal;
 pub mod kernel;
+pub mod optimize;
 mod runner;
 mod tables;
 pub mod windowed;
@@ -80,6 +81,10 @@ pub use figures::{
 };
 pub use ideal::{partition_ideal, IdealPartition};
 pub use kernel::{DistortionKernel, MetricScore, PreparedKernel, KL_EPSILON};
+pub use optimize::{
+    budget_optimize, budget_optimize_reference, budget_optimize_with, BudgetOptimizerConfig,
+    CostModel, FrontierPoint, SelectionPolicy,
+};
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};
 pub use windowed::{

@@ -21,6 +21,8 @@
 //! `prev_sibling` children list) so pivots allocate nothing: the cycle and
 //! DFS scratch vectors are owned by the tree and reused across pivots.
 
+use crate::EmdError;
+
 /// Sentinel for "no node" in the flat tree arrays.
 const NONE: u32 = u32::MAX;
 
@@ -192,7 +194,19 @@ impl BasisTree {
     /// degenerate zero-flow ties resolve deterministically instead of
     /// cycling), grafts the severed subtree onto the entering arc, and
     /// shifts the subtree potentials by the entering reduced cost.
-    pub(crate) fn pivot(&mut self, ei: usize, ej: usize, cost: &[f64], flow: &mut [f64]) {
+    ///
+    /// A spanning-tree cycle always contains a blocking arc, so the only
+    /// way the ratio test can come up empty is corrupt state (typically
+    /// NaN flow defeating every comparison); that case surfaces as
+    /// [`EmdError::BrokenPivot`] instead of a panic so one bad instance
+    /// cannot take down sibling work sharing a thread pool.
+    pub(crate) fn pivot(
+        &mut self,
+        ei: usize,
+        ej: usize,
+        cost: &[f64],
+        flow: &mut [f64],
+    ) -> Result<(), EmdError> {
         let n = self.n;
         let m = self.m;
         let row_end = ei as u32;
@@ -244,8 +258,9 @@ impl BasisTree {
                 }
             }
         }
-        let (cut, leaving_cell, on_row_side) =
-            leaving.expect("pivot cycle always has a blocking arc");
+        let (cut, leaving_cell, on_row_side) = leaving.ok_or(EmdError::BrokenPivot {
+            entering: entering as usize,
+        })?;
 
         // Pricing has no basic-cell membership test (basic arcs price to 0
         // by construction), but incremental dual updates drift: a basic
@@ -321,6 +336,7 @@ impl BasisTree {
                 child = self.next_sibling[child as usize];
             }
         }
+        Ok(())
     }
 
     /// Links `node` at the head of `parent`'s children list.
@@ -406,7 +422,7 @@ mod tests {
         let mut tree = BasisTree::build(2, 2, &[0, 1, 3], &cost).unwrap();
         let mut flow = vec![1.0, 1.0, 0.0, 1.0];
         assert!(tree.reduced_cost(&cost, 2) < 0.0);
-        tree.pivot(1, 0, &cost, &mut flow);
+        tree.pivot(1, 0, &cost, &mut flow).unwrap();
         assert_eq!(flow, vec![0.0, 2.0, 1.0, 0.0]);
         // All basic arcs (now (0,0), (0,1), (1,0)) price to zero again and
         // no cell prices negative: the pivot reached the optimum.
@@ -429,7 +445,7 @@ mod tests {
         // prices negative, then hand it in as "entering".
         tree.pot[3] += 1e-9;
         assert!(tree.reduced_cost(&cost, 1) < 0.0);
-        tree.pivot(0, 1, &cost, &mut flow);
+        tree.pivot(0, 1, &cost, &mut flow).unwrap();
         assert_eq!(flow, flow_before, "flow must survive a dual repair");
         assert!(
             tree.reduced_cost(&cost, 1).abs() < 1e-12,
@@ -438,11 +454,25 @@ mod tests {
     }
 
     #[test]
+    fn pivot_with_nan_flow_reports_broken_pivot() {
+        // NaN flow defeats every comparison in the ratio test, so no
+        // blocking arc is ever selected — the one state that can break the
+        // cycle invariant must surface as an error, not a panic.
+        let cost = vec![5.0, 0.0, 0.0, 5.0];
+        let mut tree = BasisTree::build(2, 2, &[0, 1, 3], &cost).unwrap();
+        let mut flow = vec![f64::NAN; 4];
+        assert!(matches!(
+            tree.pivot(1, 0, &cost, &mut flow),
+            Err(EmdError::BrokenPivot { entering: 2 })
+        ));
+    }
+
+    #[test]
     fn recompute_matches_incremental_potentials() {
         let cost = vec![5.0, 0.0, 0.0, 5.0];
         let mut tree = BasisTree::build(2, 2, &[0, 1, 3], &cost).unwrap();
         let mut flow = vec![1.0, 1.0, 0.0, 1.0];
-        tree.pivot(1, 0, &cost, &mut flow);
+        tree.pivot(1, 0, &cost, &mut flow).unwrap();
         let incremental = tree.pot.clone();
         tree.recompute_potentials(&cost);
         for (a, b) in incremental.iter().zip(&tree.pot) {

@@ -36,6 +36,14 @@ pub enum EmdError {
         /// Iterations performed before giving up.
         iterations: usize,
     },
+    /// A simplex pivot found no blocking arc on its cycle. The cycle of a
+    /// spanning-tree basis always contains one, so this means the basis or
+    /// the flow values are corrupt — in practice, non-finite flow entries
+    /// that defeat every `<`/`==` comparison in the ratio test.
+    BrokenPivot {
+        /// The entering cell id `i * m + j`.
+        entering: usize,
+    },
 }
 
 impl fmt::Display for EmdError {
@@ -59,6 +67,11 @@ impl fmt::Display for EmdError {
             EmdError::NoConvergence { iterations } => {
                 write!(f, "solver did not converge after {iterations} iterations")
             }
+            EmdError::BrokenPivot { entering } => write!(
+                f,
+                "simplex pivot on cell {entering} found no blocking arc \
+                 (corrupt basis or non-finite flow)"
+            ),
         }
     }
 }
@@ -81,5 +94,8 @@ mod tests {
         assert!(EmdError::NoConvergence { iterations: 5 }
             .to_string()
             .contains("5"));
+        assert!(EmdError::BrokenPivot { entering: 7 }
+            .to_string()
+            .contains("cell 7"));
     }
 }

@@ -1,6 +1,7 @@
 use crate::{EmdError, Result};
+use parking_lot::Mutex;
 use sd_stats::{sorted_union_columns, GridHistogram, GridSpec};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// A discrete distribution: weighted points in `R^d`.
 ///
@@ -298,7 +299,7 @@ impl SignatureCache {
 
     /// Number of memoized `(grid, scale)` quantizations.
     pub fn memoized(&self) -> usize {
-        self.memo.lock().expect("memo lock").len()
+        self.memo.lock().len()
     }
 
     /// The cached cloud's per-axis sorted columns (one half of the
@@ -336,7 +337,7 @@ impl SignatureCache {
     /// cloud contributes no density on the grid (no complete rows).
     pub fn side_for(&self, spec: &GridSpec, scale: &[f64]) -> Result<Arc<CachedSide>> {
         {
-            let memo = self.memo.lock().expect("memo lock");
+            let memo = self.memo.lock();
             if let Some(entry) = memo.iter().find(|e| e.spec == *spec && e.scale == scale) {
                 return Ok(Arc::clone(entry));
             }
@@ -357,7 +358,7 @@ impl SignatureCache {
             quant,
             signature,
         });
-        let mut memo = self.memo.lock().expect("memo lock");
+        let mut memo = self.memo.lock();
         if let Some(existing) = memo.iter().find(|e| e.spec == *spec && e.scale == scale) {
             return Ok(Arc::clone(existing));
         }

@@ -158,7 +158,7 @@ impl TransportProblem {
                 self.solved = true;
                 return Ok(self.objective() / self.total_mass());
             };
-            tree.pivot(cell / self.m, cell % self.m, &self.cost, &mut self.flow);
+            tree.pivot(cell / self.m, cell % self.m, &self.cost, &mut self.flow)?;
             if (pivots + 1) % RECOMPUTE_EVERY == 0 {
                 tree.recompute_potentials(&self.cost);
             }

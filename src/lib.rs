@@ -66,10 +66,12 @@ pub mod prelude {
         MissingTreatment, MvnImputer, OutlierTreatment, PartialCleaner, Winsorizer,
     };
     pub use sd_core::{
-        budget_tradeoff, cost_sweep, cost_sweep_reference, partition_ideal, statistical_distortion,
-        CostSweepConfig, DistortionKernel, DistortionMetric, Experiment, ExperimentConfig,
-        ExperimentResult, MetricScore, NeighborPooling, PreparedKernel, StrategyOutcome,
-        TaskExecutor, ThreadPoolExecutor, WindowedConfig, WindowedExperiment, WindowedResult,
+        budget_optimize, budget_optimize_reference, budget_tradeoff, cost_sweep,
+        cost_sweep_reference, partition_ideal, statistical_distortion, BudgetOptimizerConfig,
+        CostModel, CostSweepConfig, DistortionKernel, DistortionMetric, Experiment,
+        ExperimentConfig, ExperimentResult, FrontierPoint, MetricScore, NeighborPooling,
+        PreparedKernel, SelectionPolicy, StrategyOutcome, TaskExecutor, ThreadPoolExecutor,
+        WindowedConfig, WindowedExperiment, WindowedResult,
     };
     pub use sd_data::{Dataset, NodeId, TimeSeries, Topology};
     pub use sd_emd::{emd, emd_1d_samples, GridEmd, Signature};

@@ -224,7 +224,7 @@ fn ideal_partition_respects_threshold() {
 
 #[test]
 fn budget_tradeoff_matches_figure2_narrative() {
-    let points = budget_tradeoff(3000, 0.25, 5);
+    let points = budget_tradeoff(3000, 0.25, 5).unwrap();
     assert_eq!(points.len(), 3);
     assert!(points[0].glitch_improvement_pct > points[1].glitch_improvement_pct);
     assert!(points[1].glitch_improvement_pct > points[2].glitch_improvement_pct);

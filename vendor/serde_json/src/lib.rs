@@ -1,7 +1,9 @@
 //! Offline vendored shim for the subset of `serde_json` this workspace
-//! uses: the [`Value`] tree, the [`json!`] constructor macro, and
-//! [`to_string_pretty`]. Conversions go through the [`ToJson`] trait
-//! rather than serde's `Serialize`, because the serde shim is erased.
+//! uses: the [`Value`] tree, the [`json!`] constructor macro,
+//! [`to_string_pretty`], and the [`from_str`] parser with the usual
+//! borrowing accessors ([`Value::get`], [`Value::as_f64`], …).
+//! Conversions go through the [`ToJson`] trait rather than serde's
+//! `Serialize`, because the serde shim is erased.
 //!
 //! Object keys are stored in a `BTreeMap`, so emitted JSON is sorted by
 //! key — a stable, diff-friendly artifact format.
@@ -25,17 +27,273 @@ pub enum Value {
     Object(BTreeMap<String, Value>),
 }
 
-/// Serialization error (kept for API parity; the shim never fails).
+impl Value {
+    /// Object member lookup; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The borrowed string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The borrowed element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The borrowed member map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parse or serialization error, carrying a human-readable description
+/// (serialization through this shim never fails; parsing can).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        Error(format!("at byte {offset}: {}", message.into()))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("JSON serialization error")
+        write!(f, "JSON error {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] — the standard grammar
+/// (RFC 8259): `null`, booleans, numbers (stored as `f64`), strings with
+/// escapes, arrays, and objects. Trailing non-whitespace is an error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::at(self.pos, format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::at(
+                self.pos,
+                format!("unexpected character '{}'", c as char),
+            )),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number characters are valid UTF-8");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::at(start, format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Scan a run of plain (non-escape, non-quote) bytes in one
+            // UTF-8-preserving slice copy.
+            let run_start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| Error::at(run_start, "invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::at(self.pos, "truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for the shim's
+                            // artifact format; lone surrogates map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::at(
+                                self.pos - 1,
+                                format!("unknown escape '\\{}'", other as char),
+                            ));
+                        }
+                    }
+                }
+                None => return Err(Error::at(self.pos, "unterminated string")),
+                Some(_) => unreachable!("scan loop stops only on quote, backslash, or end"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+}
 
 /// Conversion into a [`Value`], implemented for every type the workspace
 /// embeds in `json!` literals.
@@ -264,5 +522,58 @@ mod tests {
     fn integral_floats_print_without_fraction() {
         let s = to_string_pretty(&json!([3.0, 3.5])).unwrap();
         assert!(s.contains("3,") && s.contains("3.5"), "{s}");
+    }
+
+    #[test]
+    fn parser_round_trips_pretty_output() {
+        let v = json!({
+            "name": "cost model",
+            "per_cell": [1.0, 2.5, -3.0e-2],
+            "enabled": true,
+            "nested": json!({ "nothing": json!(null), "text": "a\"b\\c\nd" }),
+        });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_escapes() {
+        let v = from_str(" { \"k\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
+        assert_eq!(
+            v.get("k").and_then(Value::as_array).unwrap().as_slice(),
+            &[Value::Number(1.0), Value::String("A\t".into())]
+        );
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "\"open",
+            "1.2.3",
+            "{} junk",
+            "{\"a\" 1}",
+        ] {
+            let err = from_str(bad).unwrap_err();
+            assert!(err.to_string().contains("at byte"), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn accessors_select_by_type() {
+        let v = json!({ "x": 2.0, "s": "hi", "b": false, "a": [1.0] });
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert_eq!(v.as_object().map(BTreeMap::len), Some(4));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
+        assert!(Value::Null.as_f64().is_none());
     }
 }
