@@ -16,6 +16,7 @@
 //! reports) to stdout and, when `SD_OUT` is set, write machine-readable
 //! JSON next to them so `EXPERIMENTS.md` numbers are regenerable.
 
+#![forbid(unsafe_code)]
 use sd_data::Dataset;
 use sd_netsim::{generate, NetsimConfig};
 use std::path::PathBuf;

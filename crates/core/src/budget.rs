@@ -88,7 +88,8 @@ pub fn budget_tradeoff(
         )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let dist = LogNormal::new(3.0, 0.8).expect("valid lognormal");
+    let dist = LogNormal::new(3.0, 0.8)
+        .map_err(|e| FrameworkError::Internal(format!("lognormal(3.0, 0.8) rejected: {e}")))?;
 
     // Ground truth and the dirty view (missing values deleted).
     let truth: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();

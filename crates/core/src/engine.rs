@@ -382,9 +382,12 @@ pub(crate) fn score_view(
             if row_edits.last().is_none_or(|(r, _)| *r != row) {
                 row_edits.push((row, shared.cache.rows()[row].clone()));
             }
-            let new_row = &mut row_edits.last_mut().expect("just ensured").1;
-            let a = e.attr as usize;
-            new_row[a] = transforms[a].forward(e.value);
+            // The push above guarantees a last element; `if let` keeps the
+            // path panic-free instead of asserting it with `expect`.
+            if let Some((_, new_row)) = row_edits.last_mut() {
+                let a = e.attr as usize;
+                new_row[a] = transforms[a].forward(e.value);
+            }
         }
     }
     let patched = PatchedCloud::new(&shared.cache, row_edits);

@@ -22,6 +22,11 @@ pub enum FrameworkError {
         /// Requested missing fraction.
         missing_fraction: f64,
     },
+    /// An internal invariant was violated. These arms were panics before
+    /// the sd-lint P001 gate; a long-lived service must surface even
+    /// "impossible" states as errors rather than die shard-by-shard.
+    /// Seeing one is always a framework bug worth reporting.
+    Internal(String),
 }
 
 impl fmt::Display for FrameworkError {
@@ -45,6 +50,9 @@ impl fmt::Display for FrameworkError {
                 "observed sample is empty: all {n} draws went missing \
                  (missing fraction {missing_fraction})"
             ),
+            FrameworkError::Internal(msg) => {
+                write!(f, "internal invariant violated (framework bug): {msg}")
+            }
         }
     }
 }

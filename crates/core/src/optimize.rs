@@ -451,9 +451,12 @@ fn build_candidates(
             if row_edits.last().is_none_or(|(r, _)| *r != row) {
                 row_edits.push((row, base_rows[row].clone()));
             }
-            let new_row = &mut row_edits.last_mut().expect("just ensured").1;
-            let a = e.attr as usize;
-            new_row[a] = transforms[a].forward(e.value);
+            // The push above guarantees a last element; `if let` keeps the
+            // path panic-free instead of asserting it with `expect`.
+            if let Some((_, new_row)) = row_edits.last_mut() {
+                let a = e.attr as usize;
+                new_row[a] = transforms[a].forward(e.value);
+            }
         }
         candidates.push(Candidate {
             series: i,

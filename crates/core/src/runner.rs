@@ -50,8 +50,12 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // A panicking worker propagates out of the scope join above,
+            // so reaching this line proves every slot was written; the
+            // signature (plain `Vec<T>`, shared by dozens of callers) has
+            // no error channel to thread a structured failure through.
             slot.into_inner()
-                .expect("every slot is filled by its worker")
+                .expect("every slot is filled by its worker") // sd-lint: allow(P001, scope join proves every slot was written; Vec signature has no error channel)
         })
         .collect()
 }

@@ -413,11 +413,15 @@ impl WindowedExperiment {
         for result in unit_results {
             outcomes.push(result?);
         }
-        let screens = screens
-            .into_inner()
-            .into_iter()
-            .map(|s| s.expect("every window group was built"))
-            .collect();
+        let mut built_screens = Vec::with_capacity(num_windows);
+        for slot in screens.into_inner() {
+            built_screens.push(slot.ok_or_else(|| {
+                FrameworkError::Internal(
+                    "a window group finished without building its screen slot".into(),
+                )
+            })?);
+        }
+        let screens = built_screens;
         Ok(WindowedResult {
             outcomes,
             screens,
@@ -463,7 +467,13 @@ impl WindowedExperiment {
         for series in data.series() {
             let node = series.node();
             let view: Vec<(usize, f64)> = match self.config.pooling {
-                NeighborPooling::OwnOnly => unreachable!("handled above"),
+                NeighborPooling::OwnOnly => {
+                    // Early-returned at the top of this function; surfaced
+                    // as a structured error rather than a panic (P001).
+                    return Err(FrameworkError::Internal(
+                        "own-only pooling reached neighbour resolution".into(),
+                    ));
+                }
                 NeighborPooling::KHop { hops } => topology
                     .khop_neighbors(node, hops)
                     .into_iter()

@@ -33,6 +33,7 @@
 //! assert_eq!(ds.num_attributes(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 mod dataset;
 mod node;
 mod patch;

@@ -31,6 +31,7 @@
 
 // Index-based loops are the clearer idiom in the dense numeric kernels
 // of this crate.
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 

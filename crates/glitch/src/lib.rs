@@ -19,6 +19,7 @@
 //! * [`GlitchReport`] — record-level percentages (the Table 1 quantities)
 //!   and per-time-step counts (the Figure 3 series).
 
+#![forbid(unsafe_code)]
 mod constraints;
 mod detector;
 mod index;

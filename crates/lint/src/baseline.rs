@@ -1,0 +1,168 @@
+//! The P001 ratchet baseline (`lint-baseline.json`).
+//!
+//! Panic-hygiene debt predates the gate, so P001 cannot start at zero
+//! without a flag day. Instead the committed baseline records per-crate
+//! counts of surviving (unallowed, non-test) P001 findings: a count at or
+//! below its baseline passes, any *increase* fails, and `sd-lint ratchet`
+//! rewrites the file downward once debt is paid off. The file is
+//! key-sorted JSON, so diffs read as "which crate got cleaner".
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// The committed file name, at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// On-disk format version.
+const FORMAT: f64 = 1.0;
+
+/// Per-crate P001 debt ceiling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Crate name → maximum tolerated P001 count.
+    pub p001: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Loads the baseline from `root/lint-baseline.json`; a missing file
+    /// is an empty baseline (every crate must then be at zero).
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join(BASELINE_FILE);
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        let mut baseline = Baseline::default();
+        let Some(map) = value.get("p001").and_then(Value::as_object) else {
+            return Err(format!(
+                "{}: expected an object with a \"p001\" member",
+                path.display()
+            ));
+        };
+        for (crate_name, count) in map {
+            let Some(count) = count.as_f64() else {
+                return Err(format!(
+                    "{}: p001.{crate_name} is not a number",
+                    path.display()
+                ));
+            };
+            baseline.p001.insert(crate_name.clone(), count as usize);
+        }
+        Ok(baseline)
+    }
+
+    /// Serializes to the committed JSON shape.
+    pub fn to_value(&self) -> Value {
+        let mut p001 = BTreeMap::new();
+        for (crate_name, &count) in &self.p001 {
+            p001.insert(crate_name.clone(), Value::Number(count as f64));
+        }
+        let mut top = BTreeMap::new();
+        top.insert("format".to_string(), Value::Number(FORMAT));
+        top.insert("p001".to_string(), Value::Object(p001));
+        Value::Object(top)
+    }
+
+    /// Writes the baseline to `root/lint-baseline.json`.
+    pub fn save(&self, root: &Path) -> Result<(), String> {
+        let path = root.join(BASELINE_FILE);
+        let text = serde_json::to_string_pretty(&self.to_value())
+            .map_err(|e| format!("cannot serialize baseline: {e}"))?;
+        fs::write(&path, text + "\n").map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// The tolerated count for `crate_name` (0 when unlisted).
+    pub fn ceiling(&self, crate_name: &str) -> usize {
+        self.p001.get(crate_name).copied().unwrap_or(0)
+    }
+}
+
+/// A per-crate comparison of current P001 counts against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// Crate name.
+    pub crate_name: String,
+    /// Current surviving P001 count.
+    pub current: usize,
+    /// Baseline ceiling.
+    pub ceiling: usize,
+}
+
+impl RatchetDelta {
+    /// The crate regressed (fails the gate).
+    pub fn regressed(&self) -> bool {
+        self.current > self.ceiling
+    }
+
+    /// The crate got cleaner (ratchet opportunity).
+    pub fn improvable(&self) -> bool {
+        self.current < self.ceiling
+    }
+}
+
+/// Joins current counts with the baseline over the union of crates.
+pub fn compare(current: &BTreeMap<String, usize>, baseline: &Baseline) -> Vec<RatchetDelta> {
+    let mut names: Vec<&String> = current.keys().chain(baseline.p001.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| RatchetDelta {
+            crate_name: name.clone(),
+            current: current.get(name).copied().unwrap_or(0),
+            ceiling: baseline.ceiling(name),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut b = Baseline::default();
+        b.p001.insert("sd-emd".into(), 2);
+        b.p001.insert("sd-bench".into(), 35);
+        let text = serde_json::to_string_pretty(&b.to_value()).expect("serializes");
+        let value = serde_json::from_str(&text).expect("parses");
+        let mut restored = Baseline::default();
+        for (k, v) in value.get("p001").and_then(Value::as_object).expect("p001") {
+            restored
+                .p001
+                .insert(k.clone(), v.as_f64().expect("number") as usize);
+        }
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn compare_covers_the_union() {
+        let mut baseline = Baseline::default();
+        baseline.p001.insert("sd-emd".into(), 2);
+        baseline.p001.insert("sd-stats".into(), 3);
+        let mut current = BTreeMap::new();
+        current.insert("sd-emd".to_string(), 3); // regression
+        current.insert("sd-core".to_string(), 1); // new debt (ceiling 0)
+        let deltas = compare(&current, &baseline);
+        let by_name = |n: &str| {
+            deltas
+                .iter()
+                .find(|d| d.crate_name == n)
+                .expect("delta present")
+        };
+        assert!(by_name("sd-emd").regressed());
+        assert!(by_name("sd-core").regressed());
+        assert!(by_name("sd-stats").improvable(), "count 0 below ceiling 3");
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/dir")).expect("missing file is ok");
+        assert_eq!(b.ceiling("sd-core"), 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! A lightweight, line/column-tracking Rust lexer.
+//!
+//! The lint rules operate on a token stream, not on an AST: every rule in
+//! this crate is a statement about *identifiers in context* (`HashMap` in a
+//! result path, `.unwrap()` outside a test module), so full parsing buys
+//! nothing while a tokenizer keeps the pass dependency-free and fast. The
+//! lexer understands exactly enough Rust to never misclassify the regions
+//! that matter:
+//!
+//! - line (`//`) and nested block (`/* */`) comments, kept separately so
+//!   the [escape-hatch directives](crate::context) can read them;
+//! - string / raw-string / byte-string / char literals (so an `unwrap`
+//!   inside a string is not a finding);
+//! - lifetimes vs. char literals (`'a` vs `'a'`);
+//! - identifiers, numbers, and single-character punctuation.
+//!
+//! Positions are 1-based and counted in characters, matching what editors
+//! display.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unsafe`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal (skipped by every rule).
+    Number,
+    /// A string, raw-string, or byte-string literal (contents discarded).
+    Str,
+    /// A character or byte-character literal (contents discarded).
+    Char,
+    /// A single punctuation character; [`Token::text`] holds it.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text for [`TokenKind::Ident`], [`TokenKind::Lifetime`] and
+    /// [`TokenKind::Punct`]; empty for literals (rules never read them).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// One comment with its position, preserved for directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based column of the `/` that opens the comment.
+    pub col: u32,
+}
+
+/// The full lexing result: code tokens plus comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (line and block).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one character, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer is total: any input produces a token stream (unterminated
+/// literals simply run to end of input), so the rules can always run.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out, line, col);
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out, line, col);
+        } else if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+        } else if c == '"' {
+            lex_string(&mut cur);
+            out.tokens.push(token(TokenKind::Str, line, col));
+        } else if (c == 'r' || c == 'b') && raw_or_byte_literal(&mut cur, &mut out, line, col) {
+            // Handled: r"…", r#"…"#, b'…', b"…", br#"…"#.
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.tokens.push(token(TokenKind::Number, line, col));
+        } else {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+fn token(kind: TokenKind, line: u32, col: u32) -> Token {
+    Token {
+        kind,
+        text: String::new(),
+        line,
+        col,
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump();
+    cur.bump(); // the two slashes
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+        text.push(c);
+    }
+    out.comments.push(Comment { text, line, col });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump();
+    cur.bump(); // "/*"
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+            text.push_str("/*");
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            cur.bump();
+            text.push(c);
+        }
+    }
+    out.comments.push(Comment { text, line, col });
+}
+
+/// `'` opens either a lifetime or a char literal; disambiguate by whether
+/// an identifier run after the quote is closed by another `'`.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        Some(c) if is_ident_start(c) && cur.peek(1) != Some('\'') => {
+            // `'a`, `'static`, `'_` — a lifetime (no closing quote after
+            // the first char; `'a'` was excluded by the peek above).
+            let mut text = String::from("'");
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            // A lifetime is never followed by `'`; if it is, this was a
+            // multi-char literal start we mis-guessed — consume the quote.
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+                out.tokens.push(token(TokenKind::Char, line, col));
+                return;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+                col,
+            });
+        }
+        _ => {
+            // Char literal: consume (with escapes) to the closing quote.
+            while let Some(c) = cur.peek(0) {
+                if c == '\\' {
+                    cur.bump();
+                    cur.bump();
+                } else if c == '\'' {
+                    cur.bump();
+                    break;
+                } else {
+                    cur.bump();
+                }
+            }
+            out.tokens.push(token(TokenKind::Char, line, col));
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening "
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+        } else if c == '"' {
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` starting at `r`/`b`.
+/// Returns `false` (consuming nothing) when the lookahead is a plain
+/// identifier such as `rows` or `bins`.
+fn raw_or_byte_literal(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) -> bool {
+    let c = match cur.peek(0) {
+        Some(c) => c,
+        None => return false,
+    };
+    // Determine the literal shape by lookahead only; bail out to the
+    // identifier path unless the exact pattern is present.
+    let mut j = 1; // offset after the leading r/b
+    if c == 'b' {
+        match cur.peek(1) {
+            Some('\'') => {
+                // Byte char b'…'.
+                cur.bump();
+                lex_quote_as_char(cur);
+                out.tokens.push(token(TokenKind::Char, line, col));
+                return true;
+            }
+            Some('"') => {
+                cur.bump();
+                lex_string(cur);
+                out.tokens.push(token(TokenKind::Str, line, col));
+                return true;
+            }
+            Some('r') => j = 2, // maybe br#"…"#
+            _ => return false,
+        }
+    }
+    // Raw-string tail: zero or more '#', then '"'.
+    let mut hashes = 0usize;
+    while cur.peek(j + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(j + hashes) != Some('"') {
+        return false;
+    }
+    // Consume introducer: r/br, hashes, opening quote.
+    for _ in 0..(j + hashes + 1) {
+        cur.bump();
+    }
+    // Scan to `"` followed by `hashes` '#'s.
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' && (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) {
+            for _ in 0..(1 + hashes) {
+                cur.bump();
+            }
+            break;
+        }
+        cur.bump();
+    }
+    out.tokens.push(token(TokenKind::Str, line, col));
+    true
+}
+
+fn lex_quote_as_char(cur: &mut Cursor) {
+    cur.bump(); // opening '
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+        } else if c == '\'' {
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor) {
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.bump();
+            // Exponent sign: `1e-3`, `2.5E+8`.
+            if (c == 'e' || c == 'E')
+                && matches!(cur.peek(0), Some('+') | Some('-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                cur.bump();
+            }
+        } else if c == '.' && !seen_dot && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // Decimal point, but never a range operator (`0..n`).
+            seen_dot = true;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_positions() {
+        let l = lex("fn main() {\n    foo();\n}\n");
+        let foo = l
+            .tokens
+            .iter()
+            .find(|t| t.text == "foo")
+            .expect("foo lexed");
+        assert_eq!((foo.line, foo.col), (2, 5));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let s = "unwrap HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_identifiers() {
+        assert_eq!(idents(r##"let s = r#"x.unwrap()"#;"##), vec!["let", "s"]);
+        assert_eq!(idents("let s = r\"panic!\";"), vec!["let", "s"]);
+        assert_eq!(idents("let b = b\"panic\";"), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("x(); // trailing note\n/* block\nspans */ y();");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, " trailing note");
+        assert!(l.comments[1].text.contains("spans"));
+        let names = ["x", "y"];
+        let got: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ fn f() {}";
+        assert_eq!(lex(src).comments.len(), 1);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let l = lex(r"let c = '\''; let d = '\n'; let e = b'x';");
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3; }");
+        let dots = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 2, "range dots survive as punctuation");
+        let numbers = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .count();
+        assert_eq!(numbers, 3);
+    }
+
+    #[test]
+    fn multiline_string_positions_stay_correct() {
+        let l = lex("let s = \"line\nbreak\";\nfoo();");
+        let foo = l
+            .tokens
+            .iter()
+            .find(|t| t.text == "foo")
+            .expect("foo lexed");
+        assert_eq!((foo.line, foo.col), (3, 1));
+    }
+}

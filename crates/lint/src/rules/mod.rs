@@ -1,0 +1,55 @@
+//! The rule registry: every rule is a pure function from a lexed file (plus
+//! its structural [`FileContext`]) to findings.
+//!
+//! Scoping lives here, in one place, so "which crates does this rule watch"
+//! is auditable at a glance:
+//!
+//! | rule | scope |
+//! |------|-------|
+//! | D001 | every crate except `sd-bench` (result-producing code, tests included — order-dependent iteration makes tests flaky too) |
+//! | D002 | every crate except `sd-bench` |
+//! | D003 | every crate except `sd-bench` (the perf harness is *supposed* to read the clock) |
+//! | D004 | every file except `crates/core/src/runner.rs`, the approved `parallel_map` implementation |
+//! | P001 | non-test code in every crate (ratcheted per crate via `lint-baseline.json`) |
+//! | U001 | every crate (cross-checks the `#![forbid(unsafe_code)]` attributes) |
+
+mod determinism;
+mod panic_hygiene;
+mod unsafe_use;
+
+use crate::context::FileContext;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::Lexed;
+
+/// Everything a rule may look at for one file.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInput<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub file: &'a str,
+    /// Cargo package name of the crate the file belongs to.
+    pub crate_name: &'a str,
+    /// The lexed file.
+    pub lexed: &'a Lexed,
+    /// Test regions and directives.
+    pub ctx: &'a FileContext,
+}
+
+/// The perf/bench harness: exempt from the determinism rules whose whole
+/// point it would defeat (it must read the clock, and nothing downstream
+/// consumes its iteration order).
+pub const BENCH_CRATE: &str = "sd-bench";
+
+/// The one file allowed to touch thread-spawn primitives: the
+/// `parallel_map` preallocated-slot implementation every parallel path
+/// must route through.
+pub const APPROVED_PARALLEL_FILE: &str = "crates/core/src/runner.rs";
+
+/// Runs every rule over one file; returns raw findings (allow-directive
+/// suppression happens in [`crate::engine`]).
+pub fn run_all(input: RuleInput<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    determinism::check(input, &mut diags);
+    panic_hygiene::check(input, &mut diags);
+    unsafe_use::check(input, &mut diags);
+    diags
+}

@@ -1,0 +1,29 @@
+//! U001: no `unsafe` in any workspace crate.
+//!
+//! Every `sd-*` crate carries `#![forbid(unsafe_code)]`, so the compiler
+//! already rejects `unsafe` outright; this rule cross-checks the attribute
+//! is actually doing its job (a future edit could drop the attribute and
+//! the workspace `deny` is override-able by design). Unlike `forbid`, the
+//! lint also sees code behind `cfg` gates that the default build skips.
+
+use super::RuleInput;
+use crate::diagnostics::{Diagnostic, RuleId};
+use crate::lexer::TokenKind;
+
+pub(super) fn check(input: RuleInput<'_>, diags: &mut Vec<Diagnostic>) {
+    for t in &input.lexed.tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            diags.push(Diagnostic {
+                rule: RuleId::U001,
+                file: input.file.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` in an sd-* crate".into(),
+                suggestion: "this workspace is #![forbid(unsafe_code)] end to end; \
+                             find a safe formulation or isolate the need behind a \
+                             vendored shim"
+                    .into(),
+            });
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Workspace file discovery.
+//!
+//! The lint walks exactly the code whose behaviour the determinism claims
+//! cover: `src/` of the facade crate and `crates/*/src/` of every member —
+//! `vendor/` (API shims with their own upstream idioms), `target/`, and
+//! integration-test / example trees are out of scope. Traversal order is
+//! sorted, so the tool's own output is deterministic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file to lint.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path, `/`-separated (diagnostic anchor).
+    pub rel: String,
+    /// Cargo package name of the owning crate.
+    pub crate_name: String,
+}
+
+/// Enumerates every lintable `.rs` file under the workspace `root`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    // Every workspace member under crates/.
+    let crates_dir = root.join("crates");
+    for dir in sorted_dir(&crates_dir)? {
+        if !dir.is_dir() {
+            continue;
+        }
+        let name = crate_name_of(&dir).unwrap_or_else(|| {
+            format!(
+                "sd-{}",
+                dir.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            )
+        });
+        collect(&dir.join("src"), root, &name, &mut files)?;
+    }
+    // The facade crate's library (after crates/, matching the sorted
+    // order of the relative paths).
+    collect(
+        &root.join("src"),
+        root,
+        &crate_name_of(root).unwrap_or_else(|| "statistical-distortion".to_string()),
+        &mut files,
+    )?;
+    Ok(files)
+}
+
+/// Reads the `name = "…"` line of a crate's `Cargo.toml`; `None` when the
+/// manifest is missing or nameless.
+fn crate_name_of(crate_dir: &Path) -> Option<String> {
+    let text = fs::read_to_string(crate_dir.join("Cargo.toml")).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            collect(&path, root, crate_name, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile {
+                path,
+                rel,
+                crate_name: crate_name.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        // crates/lint → workspace root is two levels up.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn finds_known_files_and_skips_vendor() {
+        let files = workspace_files(&root()).expect("walk succeeds");
+        assert!(files.iter().any(|f| f.rel == "crates/stats/src/grid.rs"));
+        assert!(files.iter().any(|f| f.rel == "src/lib.rs"));
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/walk.rs"));
+        assert!(
+            files.iter().all(|f| !f.rel.starts_with("vendor/")),
+            "vendor is out of scope"
+        );
+        assert!(
+            files.iter().all(|f| !f.rel.contains("/tests/")),
+            "integration tests are out of scope"
+        );
+    }
+
+    #[test]
+    fn crate_names_come_from_manifests() {
+        let files = workspace_files(&root()).expect("walk succeeds");
+        let stats = files
+            .iter()
+            .find(|f| f.rel == "crates/stats/src/grid.rs")
+            .expect("grid.rs present");
+        assert_eq!(stats.crate_name, "sd-stats");
+        let facade = files
+            .iter()
+            .find(|f| f.rel == "src/lib.rs")
+            .expect("facade present");
+        assert_eq!(facade.crate_name, "statistical-distortion");
+    }
+
+    #[test]
+    fn walk_is_sorted_and_deterministic() {
+        let a = workspace_files(&root()).expect("walk succeeds");
+        let b = workspace_files(&root()).expect("walk succeeds");
+        let rel_a: Vec<_> = a.iter().map(|f| f.rel.clone()).collect();
+        let rel_b: Vec<_> = b.iter().map(|f| f.rel.clone()).collect();
+        assert_eq!(rel_a, rel_b);
+        let mut sorted = rel_a.clone();
+        sorted.sort();
+        assert_eq!(rel_a, sorted);
+    }
+}

@@ -1,0 +1,2 @@
+// sd-lint: allow(P001)
+pub fn f() {}

@@ -1,0 +1,3 @@
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // sd-lint: allow(P001, fixture exercises the escape hatch)
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn index(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut out = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        out.insert(*k, i);
+    }
+    out
+}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn index(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        out.insert(*k, i);
+    }
+    out
+}

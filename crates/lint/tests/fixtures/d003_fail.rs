@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,3 @@
+pub fn pure(data: &[f64]) -> f64 {
+    data.iter().sum()
+}

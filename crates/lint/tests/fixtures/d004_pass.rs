@@ -1,0 +1,3 @@
+pub fn fanout(xs: &[Vec<f64>]) -> Vec<f64> {
+    sd_core::parallel_map(xs, 4, |row| row.iter().sum())
+}

@@ -1,0 +1,7 @@
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn boom() {
+    panic!("nope");
+}

@@ -1,0 +1,11 @@
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head_works() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn reinterpret(x: u64) -> f64 {
+    f64::from_bits(x)
+}

@@ -25,6 +25,7 @@
 //! The generator also emits a per-cell ground-truth annotation so detector
 //! precision/recall can be tested.
 
+#![forbid(unsafe_code)]
 mod config;
 mod generate;
 mod inject;

@@ -13,6 +13,7 @@
 //! the alias method, and a tower-stratified sampler that preserves network
 //! topology — the §6.1 future-work direction.
 
+#![forbid(unsafe_code)]
 mod bottomk;
 mod priority;
 mod replicate;

@@ -1,5 +1,5 @@
 use crate::HistogramSpec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Uniform binning of a `d`-dimensional box: one [`HistogramSpec`] per axis.
 ///
@@ -228,7 +228,10 @@ pub fn sorted_union_columns(a: &[Vec<f64>], b: &[Vec<f64>]) -> Option<Vec<Vec<f6
 #[derive(Debug, Clone)]
 pub struct GridHistogram {
     spec: GridSpec,
-    cells: HashMap<Vec<u32>, f64>,
+    // Keyed by cell coordinates in a BTreeMap so iteration *is* the
+    // sorted cell order every consumer needs — no hash-seed-dependent
+    // order exists anywhere in this result path (sd-lint D001).
+    cells: BTreeMap<Vec<u32>, f64>,
     total: f64,
     skipped: usize,
 }
@@ -238,7 +241,7 @@ impl GridHistogram {
     pub fn empty(spec: GridSpec) -> Self {
         GridHistogram {
             spec,
-            cells: HashMap::new(),
+            cells: BTreeMap::new(),
             total: 0.0,
             skipped: 0,
         }
@@ -290,10 +293,9 @@ impl GridHistogram {
     /// Used to align two histograms over the union of their occupied cells
     /// (e.g. for KL divergence, which is a same-bin distance).
     pub fn cell_masses(&self) -> Vec<(Vec<u32>, f64)> {
-        let mut cells: Vec<(Vec<u32>, f64)> =
-            self.cells.iter().map(|(c, &m)| (c.clone(), m)).collect();
-        cells.sort_by(|a, b| a.0.cmp(&b.0));
-        cells
+        // BTreeMap iteration is already in ascending cell order — the
+        // same `Vec<u32>::cmp` the former sort used.
+        self.cells.iter().map(|(c, &m)| (c.clone(), m)).collect()
     }
 
     /// The signature: `(cell centre, probability)` for every occupied cell,
@@ -303,10 +305,8 @@ impl GridHistogram {
         if self.total == 0.0 {
             return Vec::new();
         }
-        let mut cells: Vec<(&Vec<u32>, &f64)> = self.cells.iter().collect();
-        cells.sort_by(|a, b| a.0.cmp(b.0));
-        cells
-            .into_iter()
+        self.cells
+            .iter()
             .map(|(cell, &mass)| (self.spec.center_of(cell), mass / self.total))
             .collect()
     }
@@ -380,6 +380,74 @@ mod tests {
         assert!((sig[1].1 - 1.0 / 3.0).abs() < 1e-12);
         let masses: f64 = sig.iter().map(|(_, m)| m).sum();
         assert!((masses - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_is_insertion_order_independent() {
+        // Bit-identity regression for the HashMap → BTreeMap switch: the
+        // signature and cell masses must not depend on the order points
+        // arrive in (and must stay bit-for-bit what the sorted-drain
+        // HashMap implementation produced).
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 1.0;
+                let y = (i as f64 * 0.61) % 1.0;
+                vec![x, y]
+            })
+            .collect();
+        let forward = GridHistogram::from_points(unit_grid(4), &points);
+        let mut reversed_points = points.clone();
+        reversed_points.reverse();
+        let reversed = GridHistogram::from_points(unit_grid(4), &reversed_points);
+        // Interleaved: odd indices then even.
+        let interleaved_points: Vec<Vec<f64>> = points
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .chain(points.iter().step_by(2))
+            .cloned()
+            .collect();
+        let interleaved = GridHistogram::from_points(unit_grid(4), &interleaved_points);
+        for other in [&reversed, &interleaved] {
+            assert_eq!(forward.cell_masses(), other.cell_masses());
+            let a = forward.signature();
+            let b = other.signature();
+            assert_eq!(a.len(), b.len());
+            for ((ca, ma), (cb, mb)) in a.iter().zip(&b) {
+                assert_eq!(ma.to_bits(), mb.to_bits(), "mass bits differ");
+                for (xa, xb) in ca.iter().zip(cb) {
+                    assert_eq!(xa.to_bits(), xb.to_bits(), "centre bits differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_pinned_values() {
+        // Pinned output of the pre-BTreeMap implementation (cells sorted
+        // by coordinates, mass normalized by binned total): proves the
+        // container switch changed nothing observable.
+        let g = unit_grid(2);
+        let points = vec![
+            vec![0.9, 0.9],
+            vec![0.1, 0.1],
+            vec![0.2, 0.2],
+            vec![0.6, 0.1],
+        ];
+        let h = GridHistogram::from_points(g, &points);
+        let sig = h.signature();
+        assert_eq!(sig.len(), 3);
+        assert_eq!(sig[0].0, vec![0.25, 0.25]);
+        assert_eq!(sig[0].1.to_bits(), 0.5f64.to_bits());
+        assert_eq!(sig[1].0, vec![0.75, 0.25]);
+        assert_eq!(sig[1].1.to_bits(), 0.25f64.to_bits());
+        assert_eq!(sig[2].0, vec![0.75, 0.75]);
+        assert_eq!(sig[2].1.to_bits(), 0.25f64.to_bits());
+        let masses = h.cell_masses();
+        assert_eq!(
+            masses,
+            vec![(vec![0, 0], 2.0), (vec![1, 0], 1.0), (vec![1, 1], 1.0),]
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! attribute transforms (natural log) studied as an experimental factor
 //! (§5.3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod correlation;

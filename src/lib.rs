@@ -49,6 +49,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 pub use sd_cleaning as cleaning;
 pub use sd_core as core;
 pub use sd_data as data;
