@@ -12,7 +12,7 @@ use sd_bench::{mean_sd, shape_check, HarnessConfig};
 use sd_cleaning::paper_strategy;
 use sd_core::{
     budget_optimize, BudgetOptimizerConfig, CostModel, DistortionMetric, ExperimentConfig,
-    FrontierPoint, SelectionPolicy,
+    FrontierPoint, SelectionPolicy, TransportMode,
 };
 
 fn main() {
@@ -49,6 +49,7 @@ fn main() {
             cost_model: cost_model.clone(),
             policy,
             distortion_weight: 0.1,
+            transport: TransportMode::default(),
         }
     };
 

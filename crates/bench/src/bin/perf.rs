@@ -36,10 +36,11 @@ use sd_cleaning::paper_strategy;
 use sd_core::{
     budget_optimize, budget_optimize_reference, cost_sweep, cost_sweep_reference,
     BudgetOptimizerConfig, CostModel, CostSweepConfig, DistortionMetric, Experiment,
-    ExperimentConfig, SelectionPolicy,
+    ExperimentConfig, SelectionPolicy, TransportMode,
 };
 use sd_emd::{
-    sinkhorn, GridEmd, MinCostFlow, PatchedCloud, SignatureCache, SinkhornParams, TransportProblem,
+    sinkhorn, BatchTransport, GridEmd, MinCostFlow, PatchedCloud, SignatureCache, SinkhornParams,
+    TransportProblem,
 };
 use sd_netsim::{generate, NetsimConfig};
 use serde_json::{json, Value};
@@ -64,6 +65,19 @@ fn measure<I, S: FnMut() -> I, R: FnMut(I) -> f64>(
     total / iters as f64 * 1e6
 }
 
+/// Aborts the run on a setup or solve failure: a perf row measured after
+/// an error would be meaningless, and a bench binary has no caller to
+/// propagate to — exit with the error instead of panicking.
+fn require<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf: {what} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let harness = HarnessConfig::from_env();
     let iters = match harness.scale {
@@ -86,8 +100,11 @@ fn main() {
         );
         record("simplex", size, us);
         // Test-only cross-validator (see `sd_emd::MinCostFlow`): tracked
-        // here so its ~23× gap to the simplex at n = 128 stays visible,
-        // not because anything hot calls it.
+        // here so the gap to the simplex stays visible, not because
+        // anything hot calls it. The bipartite-specialized SSP rewrite
+        // cut the historical ~23× gap at n = 128 to single digits, which
+        // is why the random validation corpora run un-gated on every
+        // test run.
         let us = measure(
             iters,
             || (s.clone(), d.clone(), cost.clone()),
@@ -112,6 +129,77 @@ fn main() {
             },
         );
         record("sinkhorn", size, us);
+    }
+
+    // Warm-started batch transport: S = 5 solves against one fixed dirty
+    // signature (shared supply + ground costs) whose cleaned-side masses
+    // drift incrementally — the shape of one replication's batch and of
+    // the budget optimizer's greedy candidate sweep, where consecutive
+    // instances differ by one candidate's sparse edits.
+    // `batch_emd_cold` solves each instance from a fresh
+    // north-west-corner basis on a reused arena (allocation amortized —
+    // the engine's default path); `batch_emd` chains them through one
+    // `BatchTransport`, warm-starting every solve after the first from
+    // the previous optimum's repaired basis. Both rows are µs per
+    // transport, so their ratio is the warm-start speedup per
+    // replication-shaped batch.
+    {
+        let s_count = 5usize;
+        let size = 128usize;
+        let (supply, base_demand, cost) = transport_instance(size, size, 11);
+        let mut state: u64 = 0x5DEECE66D;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut demands: Vec<Vec<f64>> = Vec::with_capacity(s_count);
+        let mut d = base_demand.clone();
+        for _ in 0..s_count {
+            demands.push(d.clone());
+            // Two sparse mass moves ≈ one candidate's edit footprint.
+            for _ in 0..2 {
+                let a = (next() * size as f64) as usize % size;
+                let b = (next() * size as f64) as usize % size;
+                let slice = d[a] * 0.1;
+                d[a] -= slice;
+                d[b] += slice;
+            }
+        }
+        let mut warm_arena = BatchTransport::new();
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                warm_arena.reset_chain();
+                let mut acc = 0.0;
+                for d in &demands {
+                    acc += require(
+                        warm_arena.solve(black_box(&supply), black_box(d), black_box(&cost)),
+                        "warm batch solve",
+                    );
+                }
+                acc
+            },
+        ) / s_count as f64;
+        record("batch_emd", size, us);
+        let mut cold_arena = BatchTransport::new();
+        let us = measure(
+            iters,
+            || (),
+            |()| {
+                let mut acc = 0.0;
+                for d in &demands {
+                    acc += require(
+                        cold_arena.solve_cold(black_box(&supply), black_box(d), black_box(&cost)),
+                        "cold batch solve",
+                    );
+                }
+                acc
+            },
+        ) / s_count as f64;
+        record("batch_emd_cold", size, us);
     }
 
     for points in [1_000usize, 10_000] {
@@ -361,6 +449,7 @@ fn main() {
             cost_model: CostModel::uniform(),
             policy: SelectionPolicy::Greedy,
             distortion_weight: 0.1,
+            transport: TransportMode::Cold,
         };
         let units = (reps * opt.budgets.len()) as f64;
         let us = measure(
@@ -381,6 +470,42 @@ fn main() {
             },
         ) / units;
         record("budget_opt_ref", config.sample_size, us);
+    }
+
+    // Thread-scaling curve: the same R × S engine batch on explicit
+    // 1/2/4/8-thread executors, recorded as µs per (replication ×
+    // strategy) unit at each thread count (`size` is the thread count).
+    // Results are bit-identical across thread counts by the engine's
+    // determinism contract, so the curve measures pure scheduling — the
+    // `SD_THREADS` knob's payoff. Thread counts beyond the host's cores
+    // still measure honestly; they just stop improving.
+    {
+        let strategies: Vec<_> = (1..=5).map(paper_strategy).collect();
+        let reps = match harness.scale {
+            Scale::Small => 3,
+            Scale::Harness => 10,
+            Scale::Paper => 25,
+        };
+        let mut scaling_config = config.clone();
+        scaling_config.replications = reps;
+        let runner = Experiment::new(scaling_config);
+        let prepared = require(runner.prepare(&data), "thread-scaling prepare");
+        let units = (reps * strategies.len()) as f64;
+        for threads in [1usize, 2, 4, 8] {
+            let executor = sd_core::ThreadPoolExecutor::new(threads);
+            let us = measure(
+                iters,
+                || (),
+                |()| {
+                    let result = require(
+                        prepared.run_with(black_box(&strategies), &executor),
+                        "thread-scaling batch",
+                    );
+                    result.outcomes().len() as f64
+                },
+            ) / units;
+            record("thread_scaling", threads, us);
+        }
     }
 
     harness.write_json(

@@ -34,7 +34,10 @@
 //! full re-detection, materialized distortion) kept in-tree so the
 //! equivalence stays enforceable ([`tests`] and `tests/end_to_end.rs`)
 //! and the speedup stays measurable (the perf bin's `cost_sweep` /
-//! `cost_sweep_ref` rows).
+//! `cost_sweep_ref` rows). Like every engine workload, the sweep's exact
+//! EMD transports run on the thread-local cold
+//! [`sd_emd::BatchTransport`] arena — allocation reuse without touching
+//! the cold pivot sequence, so the bit-identity contract is unaffected.
 
 use crate::engine::{run_staged, score_view, share_replication, SharedReplication, TaskExecutor};
 use crate::{

@@ -54,6 +54,15 @@
 //! cached artifact is a pure function of the replication, so hit/miss
 //! order cannot change bits.
 //!
+//! Exact EMD transports inside unit scoring ride a **thread-local cold
+//! scratch arena** ([`sd_emd::BatchTransport`]): allocations (basis tree,
+//! flow matrix, pricing scratch) are reused across solves, but every solve
+//! replays the exact cold pivot sequence, so results stay bit-identical
+//! regardless of which thread scored which unit. Warm-started transports —
+//! which trade bit-identity for a documented `1e-9` objective tolerance —
+//! are opt-in and confined to the budget optimizer's sequential planning
+//! sweep ([`crate::TransportMode::Warm`]).
+//!
 //! # Windowed mode
 //!
 //! [`crate::WindowedExperiment`] runs the §3.3 online formulation on the

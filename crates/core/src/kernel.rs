@@ -58,8 +58,8 @@
 
 use crate::{FrameworkError, Result};
 use sd_emd::{
-    ground_distance_matrix, quantize, scaled_signature, CloudQuant, DistanceScaling, GridEmd,
-    PatchedCloud, Signature, SignatureCache,
+    ground_distance_matrix, quantize, scaled_signature, BatchTransport, CloudQuant,
+    DistanceScaling, GridEmd, PatchedCloud, Signature, SignatureCache,
 };
 use sd_linalg::MahalanobisMetric;
 use sd_stats::{
@@ -130,6 +130,21 @@ pub trait PreparedKernel: Send + Sync {
     ) -> Result<f64> {
         self.score_patch(&PatchedCloud::new(cache, row_edits))
     }
+
+    /// Like [`PreparedKernel::score_edits`] but with a caller-owned
+    /// [`BatchTransport`] arena, so a batch of related scores (the budget
+    /// optimizer's candidate sweep) can reuse one basis tree and
+    /// warm-start consecutive transports. Kernels that do not solve a
+    /// transport ignore the arena and delegate to `score_edits`; the EMD
+    /// kernel routes its exact solve through it.
+    fn score_edits_with(
+        &self,
+        cache: &SignatureCache,
+        row_edits: Vec<(usize, Vec<f64>)>,
+        _transport: &mut BatchTransport,
+    ) -> Result<f64> {
+        self.score_edits(cache, row_edits)
+    }
 }
 
 fn distortion_err(e: impl std::fmt::Display) -> FrameworkError {
@@ -180,6 +195,19 @@ impl PreparedKernel for EmdKernel {
         Ok(self
             .pipeline()
             .distance_patched(patched)
+            .map_err(distortion_err)?
+            .emd)
+    }
+
+    fn score_edits_with(
+        &self,
+        cache: &SignatureCache,
+        row_edits: Vec<(usize, Vec<f64>)>,
+        transport: &mut BatchTransport,
+    ) -> Result<f64> {
+        Ok(self
+            .pipeline()
+            .distance_patched_with(&PatchedCloud::new(cache, row_edits), transport)
             .map_err(distortion_err)?
             .emd)
     }

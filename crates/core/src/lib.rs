@@ -84,7 +84,7 @@ pub use ideal::{partition_ideal, IdealPartition};
 pub use kernel::{DistortionKernel, MetricScore, PreparedKernel, KL_EPSILON};
 pub use optimize::{
     budget_optimize, budget_optimize_reference, budget_optimize_with, BudgetOptimizerConfig,
-    CostModel, FrontierPoint, SelectionPolicy,
+    CostModel, FrontierPoint, SelectionPolicy, TransportMode,
 };
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};

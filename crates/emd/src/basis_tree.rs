@@ -55,65 +55,168 @@ pub(crate) struct BasisTree {
     stack: Vec<u32>,
 }
 
+/// Reusable adjacency scratch for [`BasisTree::rebuild`] — the batch
+/// arena owns one so repeated cold rebuilds allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct BuildScratch {
+    adj_head: Vec<u32>,
+    adj_next: Vec<u32>,
+    adj_node: Vec<u32>,
+    adj_cell: Vec<u32>,
+    visited: Vec<bool>,
+}
+
 impl BasisTree {
+    /// An empty tree holding only (reusable) allocations; callers must
+    /// [`rebuild`](Self::rebuild) it before use.
+    pub(crate) fn new_empty() -> Self {
+        BasisTree {
+            n: 0,
+            m: 0,
+            parent: Vec::new(),
+            parent_cell: Vec::new(),
+            depth: Vec::new(),
+            first_child: Vec::new(),
+            next_sibling: Vec::new(),
+            prev_sibling: Vec::new(),
+            pot: Vec::new(),
+            up_row: Vec::new(),
+            up_col: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
     /// Builds the tree from `n + m − 1` basic cell ids, rooting at row 0
     /// with `u_0 = 0`. Returns `None` if the cells do not span all nodes
     /// (a logic error upstream, not bad input).
     pub(crate) fn build(n: usize, m: usize, cells: &[u32], cost: &[f64]) -> Option<Self> {
+        let mut tree = BasisTree::new_empty();
+        let mut scratch = BuildScratch::default();
+        tree.rebuild(n, m, cells, cost, &mut scratch)
+            .then_some(tree)
+    }
+
+    /// Rebuilds the tree in place from basic cell ids, reusing every
+    /// allocation (the arena path of [`Self::build`]; identical BFS, so
+    /// the resulting tree — potentials included — is bit-identical).
+    /// Returns `false` if the cells do not span all nodes.
+    pub(crate) fn rebuild(
+        &mut self,
+        n: usize,
+        m: usize,
+        cells: &[u32],
+        cost: &[f64],
+        scratch: &mut BuildScratch,
+    ) -> bool {
         let nodes = n + m;
-        let mut tree = BasisTree {
-            n,
-            m,
-            parent: vec![NONE; nodes],
-            parent_cell: vec![NONE; nodes],
-            depth: vec![0; nodes],
-            first_child: vec![NONE; nodes],
-            next_sibling: vec![NONE; nodes],
-            prev_sibling: vec![NONE; nodes],
-            pot: vec![0.0; nodes],
-            up_row: Vec::with_capacity(nodes),
-            up_col: Vec::with_capacity(nodes),
-            stack: Vec::with_capacity(nodes),
-        };
-        // One-shot adjacency for the initial BFS; pivots never rebuild it.
-        let mut adj_head = vec![NONE; nodes];
-        let mut adj_next = vec![NONE; 2 * cells.len()];
-        let mut adj_node = vec![0u32; 2 * cells.len()];
-        let mut adj_cell = vec![0u32; 2 * cells.len()];
+        self.n = n;
+        self.m = m;
+        reset_to(&mut self.parent, nodes, NONE);
+        reset_to(&mut self.parent_cell, nodes, NONE);
+        reset_to(&mut self.depth, nodes, 0);
+        reset_to(&mut self.first_child, nodes, NONE);
+        reset_to(&mut self.next_sibling, nodes, NONE);
+        reset_to(&mut self.prev_sibling, nodes, NONE);
+        reset_to(&mut self.pot, nodes, 0.0);
+        self.up_row.clear();
+        self.up_col.clear();
+        self.stack.clear();
+        // Adjacency for the initial BFS; pivots never rebuild it.
+        reset_to(&mut scratch.adj_head, nodes, NONE);
+        reset_to(&mut scratch.adj_next, 2 * cells.len(), NONE);
+        reset_to(&mut scratch.adj_node, 2 * cells.len(), 0u32);
+        reset_to(&mut scratch.adj_cell, 2 * cells.len(), 0u32);
         for (k, &cell) in cells.iter().enumerate() {
             let i = cell as usize / m;
             let j = cell as usize % m;
             for (slot, (from, to)) in [(2 * k, (i, n + j)), (2 * k + 1, (n + j, i))] {
-                adj_node[slot] = to as u32;
-                adj_cell[slot] = cell;
-                adj_next[slot] = adj_head[from];
-                adj_head[from] = slot as u32;
+                scratch.adj_node[slot] = to as u32;
+                scratch.adj_cell[slot] = cell;
+                scratch.adj_next[slot] = scratch.adj_head[from];
+                scratch.adj_head[from] = slot as u32;
             }
         }
-        let mut visited = vec![false; nodes];
-        visited[0] = true;
-        tree.stack.push(0);
+        reset_to(&mut scratch.visited, nodes, false);
+        scratch.visited[0] = true;
+        self.stack.push(0);
         let mut seen = 1usize;
-        while let Some(node) = tree.stack.pop() {
-            let mut slot = adj_head[node as usize];
+        while let Some(node) = self.stack.pop() {
+            let mut slot = scratch.adj_head[node as usize];
             while slot != NONE {
-                let next = adj_node[slot as usize];
-                let cell = adj_cell[slot as usize];
-                if !visited[next as usize] {
-                    visited[next as usize] = true;
+                let next = scratch.adj_node[slot as usize];
+                let cell = scratch.adj_cell[slot as usize];
+                if !scratch.visited[next as usize] {
+                    scratch.visited[next as usize] = true;
                     seen += 1;
-                    tree.parent[next as usize] = node;
-                    tree.parent_cell[next as usize] = cell;
-                    tree.depth[next as usize] = tree.depth[node as usize] + 1;
+                    self.parent[next as usize] = node;
+                    self.parent_cell[next as usize] = cell;
+                    self.depth[next as usize] = self.depth[node as usize] + 1;
                     // u_i + v_j = c_ij holds in both propagation directions.
-                    tree.pot[next as usize] = cost[cell as usize] - tree.pot[node as usize];
-                    tree.attach(next, node);
-                    tree.stack.push(next);
+                    self.pot[next as usize] = cost[cell as usize] - self.pot[node as usize];
+                    self.attach(next, node);
+                    self.stack.push(next);
                 }
-                slot = adj_next[slot as usize];
+                slot = scratch.adj_next[slot as usize];
             }
         }
-        (seen == nodes).then_some(tree)
+        seen == nodes
+    }
+
+    /// Recomputes the (unique) basic flows this tree implies for *new*
+    /// marginals — the warm-start repair step: every non-root node's
+    /// parent arc must carry exactly the node's subtree imbalance, found
+    /// by leaf elimination in reverse preorder. All non-tree cells of
+    /// `flow` are zeroed.
+    ///
+    /// Returns `false` when the basis is primal-infeasible for the new
+    /// marginals (some arc needs flow below `−tol`); flows in `[−tol, 0)`
+    /// are degenerate rounding residue and clamp to zero. The flow buffer
+    /// is always fully written — on `false` it holds the true (partly
+    /// negative) implied flows, exactly what [`Self::dual_repair`] needs
+    /// to restore feasibility without a cold restart.
+    pub(crate) fn flows_from_marginals(
+        &mut self,
+        supply: &[f64],
+        demand: &[f64],
+        flow: &mut [f64],
+        balance: &mut Vec<f64>,
+        order: &mut Vec<u32>,
+        tol: f64,
+    ) -> bool {
+        balance.clear();
+        balance.extend_from_slice(supply);
+        balance.extend_from_slice(demand);
+        order.clear();
+        self.stack.clear();
+        self.stack.push(0);
+        while let Some(u) = self.stack.pop() {
+            order.push(u);
+            let mut child = self.first_child[u as usize];
+            while child != NONE {
+                self.stack.push(child);
+                child = self.next_sibling[child as usize];
+            }
+        }
+        flow.fill(0.0);
+        // Reverse preorder visits every child before its parent, so each
+        // node's balance is already net of its subtree when reached. The
+        // root's residual balance is pure rounding (the instance is
+        // balanced) and needs no arc.
+        let mut feasible = true;
+        for &u in order.iter().rev() {
+            if u == 0 {
+                continue;
+            }
+            let b = balance[u as usize];
+            if b < -tol {
+                feasible = false;
+                flow[self.parent_cell[u as usize] as usize] = b;
+            } else {
+                flow[self.parent_cell[u as usize] as usize] = b.max(0.0);
+            }
+            balance[self.parent[u as usize] as usize] -= b;
+        }
+        feasible
     }
 
     /// The reduced cost `c_ij − u_i − v_j` of cell `(i, j)`.
@@ -214,24 +317,7 @@ impl BasisTree {
         let entering = (ei * m + ej) as u32;
         let rc = cost[entering as usize] - self.pot[ei] - self.pot[n + ej];
 
-        // Tree path endpoints → LCA, recording (child, arc cell) pairs.
-        self.up_row.clear();
-        self.up_col.clear();
-        let (mut x, mut y) = (row_end, col_end);
-        while self.depth[x as usize] > self.depth[y as usize] {
-            self.up_row.push((x, self.parent_cell[x as usize]));
-            x = self.parent[x as usize];
-        }
-        while self.depth[y as usize] > self.depth[x as usize] {
-            self.up_col.push((y, self.parent_cell[y as usize]));
-            y = self.parent[y as usize];
-        }
-        while x != y {
-            self.up_row.push((x, self.parent_cell[x as usize]));
-            x = self.parent[x as usize];
-            self.up_col.push((y, self.parent_cell[y as usize]));
-            y = self.parent[y as usize];
-        }
+        self.collect_cycle(row_end, col_end);
 
         // Walking the cycle in the direction column-endpoint → LCA →
         // row-endpoint, an arc carries −θ when the cycle traverses it
@@ -297,6 +383,42 @@ impl BasisTree {
         } else {
             (col_end, row_end)
         };
+        self.exchange(cut, in_node, out_node, entering, rc);
+        Ok(())
+    }
+
+    /// Fills `up_row` / `up_col` with the (child, arc cell) pairs of the
+    /// tree paths from the two entering endpoints up to their LCA — the
+    /// pivot cycle of the entering cell.
+    fn collect_cycle(&mut self, row_end: u32, col_end: u32) {
+        self.up_row.clear();
+        self.up_col.clear();
+        let (mut x, mut y) = (row_end, col_end);
+        while self.depth[x as usize] > self.depth[y as usize] {
+            self.up_row.push((x, self.parent_cell[x as usize]));
+            x = self.parent[x as usize];
+        }
+        while self.depth[y as usize] > self.depth[x as usize] {
+            self.up_col.push((y, self.parent_cell[y as usize]));
+            y = self.parent[y as usize];
+        }
+        while x != y {
+            self.up_row.push((x, self.parent_cell[x as usize]));
+            x = self.parent[x as usize];
+            self.up_col.push((y, self.parent_cell[y as usize]));
+            y = self.parent[y as usize];
+        }
+    }
+
+    /// Basis exchange after a pivot: re-roots the subtree severed at `cut`
+    /// onto the entering arc and relabels it. `in_node` is the entering
+    /// endpoint inside the severed subtree, `out_node` the one that stays.
+    /// Depths are recomputed from the new attachment and potentials shift
+    /// by a constant (`+rc` on `in_node`'s node kind, `−rc` on the other),
+    /// which keeps every intra-subtree arc satisfying `u_i + v_j = c_ij`
+    /// and makes the entering arc basic.
+    fn exchange(&mut self, cut: u32, in_node: u32, out_node: u32, entering: u32, rc: f64) {
+        let n = self.n;
         // Re-root the severed subtree at `in_node` by reversing the parent
         // chain up to `cut`, then graft it onto `out_node` via the
         // entering arc.
@@ -319,11 +441,11 @@ impl BasisTree {
             node = old_parent;
         }
 
-        // Relabel the grafted subtree: depths from the new attachment and a
-        // constant potential shift (+rc on the side of the entering
-        // endpoint's node kind, −rc on the other) keep every intra-subtree
-        // arc satisfying u_i + v_j = c_ij and make the entering arc basic.
-        let (d_row, d_col) = if on_row_side { (rc, -rc) } else { (-rc, rc) };
+        let (d_row, d_col) = if (in_node as usize) < n {
+            (rc, -rc)
+        } else {
+            (-rc, rc)
+        };
         self.depth[in_node as usize] = self.depth[out_node as usize] + 1;
         self.stack.clear();
         self.stack.push(in_node);
@@ -336,7 +458,143 @@ impl BasisTree {
                 child = self.next_sibling[child as usize];
             }
         }
-        Ok(())
+    }
+
+    /// Dual network-simplex repair of a primal-infeasible basis — the
+    /// warm-start workhorse. After [`Self::flows_from_marginals`] maps a
+    /// new demand vector onto the inherited optimal basis, some basic arcs
+    /// may carry negative flow; but because the ground costs are
+    /// unchanged, the basis is still **dual feasible** (every reduced cost
+    /// ≥ 0 up to drift). Each iteration picks the most negative arc as the
+    /// leaving arc, severs its subtree `S`, and scans the cells crossing
+    /// the cut in the opposite orientation for the minimum-reduced-cost
+    /// entering arc (the dual ratio test, which preserves dual
+    /// feasibility). The entering cycle crosses the cut exactly once —
+    /// through the leaving arc, with a `+θ` coefficient by the orientation
+    /// choice — so pushing `θ = −flow[leaving]` zeroes the deficit
+    /// exactly. Ties break to the smallest cell id; all scans are
+    /// fixed-order, so repair is deterministic.
+    ///
+    /// Returns `false` (caller must fall back to a cold solve) if no
+    /// crossing candidate exists or the pivot budget is exhausted —
+    /// possible under heavy degeneracy, never an error.
+    pub(crate) fn dual_repair(
+        &mut self,
+        cost: &[f64],
+        flow: &mut [f64],
+        in_subtree: &mut Vec<bool>,
+        tol: f64,
+    ) -> bool {
+        let n = self.n;
+        let m = self.m;
+        let nodes = n + m;
+        let max_pivots = 4 * nodes + 32;
+        for _ in 0..max_pivots {
+            // Most negative basic arc (ties → smaller cell id).
+            let mut worst = NONE;
+            let mut worst_flow = -tol;
+            for u in 1..nodes as u32 {
+                let cell = self.parent_cell[u as usize];
+                let f = flow[cell as usize];
+                if f < worst_flow
+                    || (f == worst_flow && worst != NONE && cell < self.parent_cell[worst as usize])
+                {
+                    worst_flow = f;
+                    worst = u;
+                }
+            }
+            if worst == NONE {
+                // Feasible: clamp degenerate rounding residue in
+                // `[−tol, 0)` on basic arcs to exact zero.
+                for u in 1..nodes as u32 {
+                    let cell = self.parent_cell[u as usize] as usize;
+                    if flow[cell] < 0.0 {
+                        flow[cell] = 0.0;
+                    }
+                }
+                return true;
+            }
+            let leaving_cell = self.parent_cell[worst as usize];
+
+            // Mark the severed subtree S under the leaving arc's child.
+            reset_to(in_subtree, nodes, false);
+            self.stack.clear();
+            self.stack.push(worst);
+            while let Some(u) = self.stack.pop() {
+                in_subtree[u as usize] = true;
+                let mut child = self.first_child[u as usize];
+                while child != NONE {
+                    self.stack.push(child);
+                    child = self.next_sibling[child as usize];
+                }
+            }
+
+            // The leaving arc's child-side endpoint kind fixes the needed
+            // crossing orientation: a row child means the arc ships out of
+            // S and its deficit needs mass shipped *into* S (row ∉ S,
+            // col ∈ S); a column child is the mirror image.
+            let want_row_in = (worst as usize) >= n;
+            let mut best = usize::MAX;
+            let mut best_rc = f64::INFINITY;
+            for r in 0..n {
+                if in_subtree[r] != want_row_in {
+                    continue;
+                }
+                let ur = self.pot[r];
+                let base = r * m;
+                for (c, sub) in in_subtree[n..].iter().enumerate() {
+                    if *sub == want_row_in {
+                        continue;
+                    }
+                    let cell = base + c;
+                    let rc = cost[cell] - ur - self.pot[n + c];
+                    if rc < best_rc || (rc == best_rc && cell < best) {
+                        best_rc = rc;
+                        best = cell;
+                    }
+                }
+            }
+            if best == usize::MAX {
+                return false;
+            }
+            let er = best / m;
+            let ec = best - er * m;
+            let row_end = er as u32;
+            let col_end = (n + ec) as u32;
+
+            // Push θ = −flow[leaving] around the entering cycle. The sign
+            // convention matches `pivot`: walking the cycle
+            // column-endpoint → LCA → row-endpoint, an arc carries −θ when
+            // traversed column→row. The leaving arc lies on the path from
+            // the in-S endpoint to the (out-of-S) LCA and its recorded
+            // child is `worst`, which by the orientation choice lands it
+            // on the +θ side — so its flow rises to exactly zero.
+            self.collect_cycle(row_end, col_end);
+            let theta = -flow[leaving_cell as usize];
+            flow[best] += theta;
+            for k in 0..self.up_row.len() {
+                let (child, cell) = self.up_row[k];
+                if (child as usize) < n {
+                    flow[cell as usize] -= theta;
+                } else {
+                    flow[cell as usize] += theta;
+                }
+            }
+            for k in 0..self.up_col.len() {
+                let (child, cell) = self.up_col[k];
+                if (child as usize) >= n {
+                    flow[cell as usize] -= theta;
+                } else {
+                    flow[cell as usize] += theta;
+                }
+            }
+            flow[leaving_cell as usize] = 0.0; // exact by construction
+
+            let in_node = if in_subtree[er] { row_end } else { col_end };
+            let out_node = if in_node == row_end { col_end } else { row_end };
+            self.exchange(worst, in_node, out_node, best as u32, best_rc);
+        }
+        false
     }
 
     /// Links `node` at the head of `parent`'s children list.
@@ -368,6 +626,13 @@ impl BasisTree {
             self.prev_sibling[next as usize] = prev;
         }
     }
+}
+
+/// Clears and refills a vector with `len` copies of `value` — allocation
+/// reuse for the arena paths.
+fn reset_to<T: Copy>(v: &mut Vec<T>, len: usize, value: T) {
+    v.clear();
+    v.resize(len, value);
 }
 
 #[cfg(test)]

@@ -1,0 +1,562 @@
+//! Warm-started batch transportation solves on one reused scratch arena.
+//!
+//! The experiment engine scores every cleaning strategy of a replication
+//! against the *same* dirty signature, so consecutive transportation
+//! problems share their supply vector and (usually) their cost matrix —
+//! only the demand side moves. [`BatchTransport`] exploits both facts:
+//!
+//! * **arena reuse** — the flow matrix, basis-tree arrays, dual vectors,
+//!   adjacency scratch and marginal working copies are allocated once and
+//!   recycled across solves ([`BatchTransport::solve_cold`] is this mode
+//!   alone: it replays exactly the pivot sequence of a standalone
+//!   [`crate::TransportProblem::solve`], so its results are
+//!   **bit-identical** and safe anywhere the engine needs determinism);
+//! * **warm starts** — when a solve shares the previous solve's shape,
+//!   supply bits and cost bits, [`BatchTransport::solve`] keeps the
+//!   previous optimal basis tree, recomputes the unique basic flows for
+//!   the new demand vector by leaf elimination
+//!   ([`BasisTree::flows_from_marginals`]), **repairs** any negative arcs
+//!   with dual network-simplex pivots ([`BasisTree::dual_repair`] — the
+//!   inherited basis stays dual-feasible because the costs are
+//!   unchanged), and resumes primal pivoting from there. Near-identical
+//!   demands (the common case: a cleaning strategy moves a few percent of
+//!   rows) re-verify optimality in a handful of pivots instead of
+//!   re-running the NW-corner staircase from scratch.
+//!
+//! A warm start whose repair stalls (no crossing candidate under heavy
+//! degeneracy, pivot budget exhausted) or whose resumed pricing fails
+//! falls back to the cold path on the same arena — counted in
+//! [`BatchStats::fallbacks`] — so `solve` never errors where a cold solve
+//! would have succeeded.
+//!
+//! **Objective contract.** Warm and cold solves both terminate at an
+//! optimal basis of the same linear program, so their objectives agree
+//! mathematically; the *pivot sequences* differ, so the floating-point
+//! results may differ in the last bits when the optimum is degenerate
+//! (alternative optimal bases). The enforced contract, tested here and in
+//! the workspace property suite, is
+//! `|warm − cold| ≤ 1e-9 · (1 + |cold|)`. Paths that must be
+//! bit-identical (everything the engine compares against preserved
+//! references) use `solve_cold` exclusively.
+
+use crate::basis_tree::{BasisTree, BuildScratch};
+use crate::transport::{northwest_corner_into, run_simplex, validate_balanced};
+use crate::{EmdError, Result};
+use std::cell::RefCell;
+
+/// Basic flows inherited by a warm start below
+/// `−WARM_FEASIBILITY_TOL × total mass` count as primal infeasibilities
+/// and trigger the dual repair; flows in `[−tol, 0)` are degenerate
+/// rounding residue and clamp to zero.
+const WARM_FEASIBILITY_TOL: f64 = 1e-9;
+
+/// Counters describing how a [`BatchTransport`] arena has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Total solves attempted (cold and warm entry points).
+    pub solves: u64,
+    /// Solves completed from the inherited warm basis.
+    pub warm_hits: u64,
+    /// Warm hits that needed dual-repair pivots to restore primal
+    /// feasibility first (a subset of `warm_hits`).
+    pub repairs: u64,
+    /// Warm attempts that fell back to a cold solve (repair stalled or a
+    /// resumed pivot failed).
+    pub fallbacks: u64,
+}
+
+/// Reusable transportation-solve arena with optional warm starts.
+///
+/// All simplex scratch (flow matrix, basis-tree arrays, dual vectors,
+/// pricing blocks) is allocated once and recycled across solves.
+/// [`solve`](Self::solve) warm-starts from the previous solve's optimal
+/// basis whenever the shape, supply bits and cost bits match, repairing
+/// primal infeasibilities with dual network-simplex pivots and falling
+/// back to a cold solve when the repair stalls.
+///
+/// **Objective contract.** Warm and cold solves terminate at an optimal
+/// basis of the same linear program, so their objectives agree
+/// mathematically; the pivot sequences differ, so under degeneracy
+/// (alternative optimal bases) the floating-point results may differ in
+/// the last bits. The enforced contract is
+/// `|warm − cold| ≤ 1e-9 · (1 + |cold|)`.
+/// [`solve_cold`](Self::solve_cold) replays a standalone
+/// [`crate::TransportProblem::solve`] exactly and is **bit-identical**
+/// to it — use it anywhere the engine compares against preserved
+/// references.
+#[derive(Debug)]
+pub struct BatchTransport {
+    n: usize,
+    m: usize,
+    /// Supply vector of the warm chain (bit-compared on each solve).
+    chain_supply: Vec<f64>,
+    /// Cost matrix of the warm chain (bit-compared on each solve).
+    chain_cost: Vec<f64>,
+    /// Whether `tree` holds an optimal basis for the chain problem.
+    warm: bool,
+    /// Rescaled demand of the current solve.
+    demand: Vec<f64>,
+    flow: Vec<f64>,
+    tree: BasisTree,
+    build: BuildScratch,
+    s: Vec<f64>,
+    d: Vec<f64>,
+    basis: Vec<u32>,
+    balance: Vec<f64>,
+    order: Vec<u32>,
+    /// Subtree marks for the dual-repair cut scan.
+    in_subtree: Vec<bool>,
+    stats: BatchStats,
+}
+
+impl Default for BatchTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchTransport {
+    /// An empty arena; buffers grow to the first solve's size and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        BatchTransport {
+            n: 0,
+            m: 0,
+            chain_supply: Vec::new(),
+            chain_cost: Vec::new(),
+            warm: false,
+            demand: Vec::new(),
+            flow: Vec::new(),
+            tree: BasisTree::new_empty(),
+            build: BuildScratch::default(),
+            s: Vec::new(),
+            d: Vec::new(),
+            basis: Vec::new(),
+            balance: Vec::new(),
+            order: Vec::new(),
+            in_subtree: Vec::new(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// Usage counters since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Zeroes the usage counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BatchStats::default();
+    }
+
+    /// Forgets the warm-start chain (allocations and stats are kept).
+    /// The next [`solve`](Self::solve) runs cold and starts a new chain.
+    pub fn reset_chain(&mut self) {
+        self.warm = false;
+    }
+
+    /// The optimal flow matrix of the most recent successful solve
+    /// (row-major `n × m`).
+    pub fn flow(&self) -> &[f64] {
+        &self.flow
+    }
+
+    /// Solves a balanced transportation instance, warm-starting from the
+    /// previous solve's optimal basis when the shape, supply bits and
+    /// cost bits all match (the engine's strategy-batch pattern: same
+    /// dirty signature, different cleaned demands). Returns the
+    /// normalized EMD `objective / total mass`; see [`BatchTransport`]'s
+    /// docs for the warm-vs-cold objective contract.
+    pub fn solve(&mut self, supply: &[f64], demand: &[f64], cost: &[f64]) -> Result<f64> {
+        let scale = validate_balanced(supply, demand, cost)?;
+        self.stats.solves += 1;
+        self.demand.clear();
+        self.demand.extend(demand.iter().map(|&x| x * scale));
+        let total: f64 = supply.iter().sum();
+        let warm_ok = self.warm
+            && self.n == supply.len()
+            && self.m == demand.len()
+            && bits_equal(&self.chain_supply, supply)
+            && bits_equal(&self.chain_cost, cost);
+        if warm_ok {
+            match self.try_warm(supply, cost, total) {
+                Some(value) => {
+                    self.stats.warm_hits += 1;
+                    return Ok(value);
+                }
+                None => self.stats.fallbacks += 1,
+            }
+        }
+        // Cold (re)start: the warm flag is cleared first so an error exit
+        // cannot leave a half-built tree marked reusable.
+        self.warm = false;
+        let objective = self.cold_inner(supply, cost)?;
+        self.remember(supply, cost);
+        Ok(objective / total)
+    }
+
+    /// Solves on the reused arena **without** warm-starting: replays the
+    /// exact NW-corner + pivot sequence of a standalone
+    /// [`crate::TransportProblem::solve`], so the result is bit-identical
+    /// to it. Seeds the warm chain for a following [`solve`](Self::solve).
+    pub fn solve_cold(&mut self, supply: &[f64], demand: &[f64], cost: &[f64]) -> Result<f64> {
+        let scale = validate_balanced(supply, demand, cost)?;
+        self.stats.solves += 1;
+        self.demand.clear();
+        self.demand.extend(demand.iter().map(|&x| x * scale));
+        let total: f64 = supply.iter().sum();
+        self.warm = false;
+        let objective = self.cold_inner(supply, cost)?;
+        self.remember(supply, cost);
+        Ok(objective / total)
+    }
+
+    /// Attempts to finish the current instance from the inherited basis.
+    /// `None` means the dual repair stalled or a resumed pivot failed —
+    /// the caller falls back to a cold solve (which rebuilds the tree, so
+    /// partially-written state here is harmless).
+    fn try_warm(&mut self, supply: &[f64], cost: &[f64], total: f64) -> Option<f64> {
+        let tol = WARM_FEASIBILITY_TOL * total;
+        let n = self.n;
+        let m = self.m;
+        self.flow.resize(n * m, 0.0);
+        // Costs are unchanged (bit-compared), so the inherited duals are
+        // still tree-consistent; recompute first to clear incremental
+        // drift deterministically before the repair prices reduced costs.
+        self.tree.recompute_potentials(cost);
+        let repaired = if !self.tree.flows_from_marginals(
+            supply,
+            &self.demand,
+            &mut self.flow,
+            &mut self.balance,
+            &mut self.order,
+            tol,
+        ) {
+            if !self
+                .tree
+                .dual_repair(cost, &mut self.flow, &mut self.in_subtree, tol)
+            {
+                return None;
+            }
+            true
+        } else {
+            false
+        };
+        run_simplex(n, m, cost, &mut self.tree, &mut self.flow).ok()?;
+        if repaired {
+            self.stats.repairs += 1;
+        }
+        Some(objective_of(&self.flow, cost) / total)
+    }
+
+    /// NW-corner + MODI on the arena buffers; returns the raw objective.
+    fn cold_inner(&mut self, supply: &[f64], cost: &[f64]) -> Result<f64> {
+        let n = supply.len();
+        let m = self.demand.len();
+        self.flow.clear();
+        self.flow.resize(n * m, 0.0);
+        northwest_corner_into(
+            n,
+            m,
+            supply,
+            &self.demand,
+            &mut self.s,
+            &mut self.d,
+            &mut self.flow,
+            &mut self.basis,
+        );
+        if !self.tree.rebuild(n, m, &self.basis, cost, &mut self.build) {
+            return Err(EmdError::NoConvergence { iterations: 0 });
+        }
+        run_simplex(n, m, cost, &mut self.tree, &mut self.flow)?;
+        Ok(objective_of(&self.flow, cost))
+    }
+
+    /// Records the solved instance as the warm chain head.
+    fn remember(&mut self, supply: &[f64], cost: &[f64]) {
+        self.n = supply.len();
+        self.m = self.demand.len();
+        self.chain_supply.clear();
+        self.chain_supply.extend_from_slice(supply);
+        self.chain_cost.clear();
+        self.chain_cost.extend_from_slice(cost);
+        self.warm = true;
+    }
+}
+
+/// `Σ f_ij c_ij` in the same iteration order as
+/// [`crate::TransportProblem::objective`] (bit-identity matters).
+fn objective_of(flow: &[f64], cost: &[f64]) -> f64 {
+    flow.iter().zip(cost).map(|(f, c)| f * c).sum()
+}
+
+/// Bitwise slice equality — the warm-start key comparison (`==` on f64
+/// would treat `-0.0 == 0.0` and `NaN != NaN`; the chain must be exact).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+thread_local! {
+    /// Per-thread cold arena for the `GridEmd` exact branch: every engine
+    /// unit on a worker thread reuses one allocation set. Cold-only, so
+    /// results stay bit-identical regardless of which thread (or how many
+    /// prior solves) served a given distance call.
+    static COLD_ARENA: RefCell<BatchTransport> = RefCell::new(BatchTransport::new());
+}
+
+/// Runs `f` against this thread's shared cold arena. Re-entrant callers
+/// (the arena is already borrowed further up the stack) get a fresh
+/// arena — pure allocation reuse, so the result is identical either way.
+pub(crate) fn with_cold_arena<R>(f: impl FnOnce(&mut BatchTransport) -> R) -> R {
+    COLD_ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => f(&mut BatchTransport::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransportProblem;
+
+    /// Deterministic pseudo-random stream (same LCG as the solver tests).
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        }
+    }
+
+    /// A random balanced instance: unit-mass marginals, costs in [0, 10).
+    fn instance(
+        n: usize,
+        m: usize,
+        next: &mut impl FnMut() -> f64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut supply: Vec<f64> = (0..n).map(|_| 0.01 + next()).collect();
+        let mut demand: Vec<f64> = (0..m).map(|_| 0.01 + next()).collect();
+        let st: f64 = supply.iter().sum();
+        let dt: f64 = demand.iter().sum();
+        supply.iter_mut().for_each(|x| *x /= st);
+        demand.iter_mut().for_each(|x| *x /= dt);
+        let cost: Vec<f64> = (0..n * m).map(|_| next() * 10.0).collect();
+        (supply, demand, cost)
+    }
+
+    #[test]
+    fn cold_solve_is_bit_identical_to_transport_problem() {
+        let mut next = lcg(0xC01D);
+        let mut arena = BatchTransport::new();
+        for trial in 0..12 {
+            let n = 3 + (trial * 5) % 20;
+            let m = 2 + (trial * 7) % 23;
+            let (supply, demand, cost) = instance(n, m, &mut next);
+            let standalone = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            let batched = arena.solve_cold(&supply, &demand, &cost).unwrap();
+            assert_eq!(
+                standalone.to_bits(),
+                batched.to_bits(),
+                "trial {trial} ({n}x{m}): {standalone} vs {batched}"
+            );
+        }
+        assert_eq!(arena.stats().warm_hits, 0);
+        assert_eq!(arena.stats().fallbacks, 0);
+        assert_eq!(arena.stats().solves, 12);
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_solves_within_contract() {
+        // The engine's batch shape: one dirty signature (supply + cost
+        // fixed), a sequence of slightly perturbed cleaned demands.
+        let mut next = lcg(0x9A7);
+        let (supply, mut demand, cost) = instance(24, 18, &mut next);
+        let mut arena = BatchTransport::new();
+        for round in 0..8 {
+            // Move a few percent of one cell's mass to another.
+            let a = round % demand.len();
+            let b = (round * 7 + 3) % demand.len();
+            let delta = demand[a] * 0.05;
+            demand[a] -= delta;
+            demand[b] += delta;
+            let warm = arena.solve(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+        let stats = arena.stats();
+        assert!(stats.warm_hits > 0, "no warm start ever engaged: {stats:?}");
+        assert_eq!(stats.solves, 8);
+        // Every round after the first either warmed or fell back.
+        assert_eq!(stats.warm_hits + stats.fallbacks, 7, "{stats:?}");
+    }
+
+    #[test]
+    fn dual_repair_engages_on_demand_drift() {
+        // Larger instances have highly degenerate optimal bases: almost
+        // any demand drift drives some implied basic flow negative, so
+        // the warm path must go through the dual repair rather than the
+        // strict feasibility check. Assert the repair actually runs and
+        // still lands on the cold optimum.
+        let mut next = lcg(0xF17);
+        let (supply, mut demand, cost) = instance(24, 18, &mut next);
+        let mut arena = BatchTransport::new();
+        for round in 0..6 {
+            if round > 0 {
+                for k in 0..3 {
+                    let a = (round * 5 + k) % demand.len();
+                    let b = (round * 11 + 2 * k + 1) % demand.len();
+                    let delta = demand[a] * 0.1;
+                    demand[a] -= delta;
+                    demand[b] += delta;
+                }
+            }
+            let warm = arena.solve(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+        let stats = arena.stats();
+        assert!(stats.repairs > 0, "dual repair never engaged: {stats:?}");
+        assert!(stats.repairs <= stats.warm_hits, "{stats:?}");
+    }
+
+    #[test]
+    fn chain_breaks_on_changed_supply_or_cost() {
+        let mut next = lcg(0xB0B);
+        let (supply, demand, cost) = instance(8, 9, &mut next);
+        let mut arena = BatchTransport::new();
+        arena.solve(&supply, &demand, &cost).unwrap();
+        // Different supply bits: must not warm-start.
+        let mut supply2 = supply.clone();
+        supply2[0] += 1e-3;
+        supply2[1] -= 1e-3;
+        arena.solve(&supply2, &demand, &cost).unwrap();
+        assert_eq!(arena.stats().warm_hits, 0);
+        // Different cost bits: must not warm-start.
+        let mut cost2 = cost.clone();
+        cost2[3] += 0.5;
+        arena.solve(&supply, &demand, &cost2).unwrap();
+        assert_eq!(arena.stats().warm_hits, 0);
+        // Identical instance again: warm start engages.
+        arena.solve(&supply, &demand, &cost2).unwrap();
+        assert_eq!(arena.stats().warm_hits, 1);
+        assert_eq!(arena.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn reset_chain_forces_a_cold_solve() {
+        let mut next = lcg(0x5E7);
+        let (supply, demand, cost) = instance(6, 7, &mut next);
+        let mut arena = BatchTransport::new();
+        arena.solve(&supply, &demand, &cost).unwrap();
+        arena.reset_chain();
+        let v = arena.solve(&supply, &demand, &cost).unwrap();
+        assert_eq!(arena.stats().warm_hits, 0);
+        let reference = TransportProblem::new(supply, demand, cost)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert_eq!(v.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn degenerate_duplicate_mass_chain_survives() {
+        // Small-integer masses: many ties, exactly-zero basic flows, and
+        // equal-cost pivots — the shapes that once triggered BrokenPivot.
+        let mut next = lcg(0xDE6);
+        let k = 10usize;
+        let supply = vec![1.0 / k as f64; k];
+        let cost: Vec<f64> = (0..k * k).map(|_| (next() * 3.0).floor()).collect();
+        let mut arena = BatchTransport::new();
+        for round in 0..6 {
+            // Demands are duplicate small integers, renormalized.
+            let mut demand: Vec<f64> = (0..k).map(|_| 1.0 + (next() * 3.0).floor()).collect();
+            let dt: f64 = demand.iter().sum();
+            demand.iter_mut().for_each(|x| *x /= dt);
+            let warm = arena.solve(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_warm_start_falls_back_cleanly() {
+        // A chain where the optimal basis of round 1 cannot carry round
+        // 2's demands: mass concentrates on a column the old tree feeds
+        // through arcs that would go negative.
+        let supply = vec![0.5, 0.5];
+        let cost = vec![0.0, 10.0, 10.0, 0.0];
+        let mut arena = BatchTransport::new();
+        arena.solve(&supply, &[0.5, 0.5], &cost).unwrap();
+        // Extreme demand shift; whatever the inherited tree does, the
+        // answer must match a cold solve bit-for-bit if it fell back, or
+        // within contract if it warmed.
+        let warm = arena.solve(&supply, &[0.999, 0.001], &cost).unwrap();
+        let cold = TransportProblem::new(supply.clone(), vec![0.999, 0.001], cost.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(
+            (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+            "warm {warm} vs cold {cold}"
+        );
+        let stats = arena.stats();
+        assert_eq!(stats.warm_hits + stats.fallbacks, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs_like_transport_problem() {
+        let mut arena = BatchTransport::new();
+        assert!(matches!(
+            arena.solve(&[], &[1.0], &[]),
+            Err(EmdError::EmptyInput)
+        ));
+        assert!(matches!(
+            arena.solve(&[1.0], &[2.0], &[0.0]),
+            Err(EmdError::Unbalanced { .. })
+        ));
+        assert!(matches!(
+            arena.solve(&[-1.0], &[-1.0], &[0.0]),
+            Err(EmdError::InvalidWeight { .. })
+        ));
+        // A failed solve must not seed a warm chain.
+        let (supply, demand, cost) = (vec![1.0], vec![1.0], vec![2.0]);
+        let v = arena.solve(&supply, &demand, &cost).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_arena_helper_reuses_and_nests() {
+        let value = with_cold_arena(|outer| {
+            let first = outer.solve_cold(&[1.0], &[1.0], &[3.0]).unwrap();
+            // Nested checkout must not deadlock or corrupt the outer
+            // borrow — it silently gets a fresh arena.
+            let nested = with_cold_arena(|inner| inner.solve_cold(&[1.0], &[1.0], &[4.0]).unwrap());
+            first + nested
+        });
+        assert!((value - 7.0).abs() < 1e-12);
+    }
+}

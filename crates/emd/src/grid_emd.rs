@@ -1,6 +1,6 @@
 use crate::signature::{quantize, scaled_signature, PatchedCloud};
 use crate::{
-    sinkhorn, EmdError, Result, Signature, SignatureCache, SinkhornParams, TransportProblem,
+    sinkhorn, BatchTransport, EmdError, Result, Signature, SignatureCache, SinkhornParams,
 };
 use sd_stats::{sorted_union_columns, GridSpec};
 
@@ -157,7 +157,7 @@ impl GridEmd {
         let scale = self.axis_scale(&spec);
         let sig_a = scaled_signature(qa.pairs, &scale)?;
         let qb = quantize(&spec, b);
-        self.solve_pair(&scale, &sig_a, qa.occupied, qa.skipped, qb)
+        self.solve_pair(&scale, &sig_a, qa.occupied, qa.skipped, qb, None)
     }
 
     /// Like [`GridEmd::distance`], but with the first cloud's quantization
@@ -178,7 +178,14 @@ impl GridEmd {
         let scale = self.axis_scale(&spec);
         let side = cache.side_for(&spec, &scale)?;
         let qb = quantize(&spec, b);
-        self.solve_pair(&scale, &side.signature, side.occupied, side.skipped, qb)
+        self.solve_pair(
+            &scale,
+            &side.signature,
+            side.occupied,
+            side.skipped,
+            qb,
+            None,
+        )
     }
 
     /// EMD between the cached cloud and a [`PatchedCloud`] counterpart
@@ -214,6 +221,29 @@ impl GridEmd {
     /// assert!(patched.emd > 0.0);
     /// ```
     pub fn distance_patched(&self, patched: &PatchedCloud<'_>) -> Result<GridEmdReport> {
+        self.patched_inner(patched, None)
+    }
+
+    /// Like [`GridEmd::distance_patched`], but the exact solve runs on a
+    /// caller-provided [`BatchTransport`] arena, warm-starting from the
+    /// arena's previous solve when the dirty signature and grid are
+    /// unchanged (the optimizer's candidate-re-scoring loop). The result
+    /// obeys the batch module's warm-vs-cold objective contract
+    /// (≤ `1e-9 · (1 + |cold|)`) rather than the bit-identity
+    /// `distance_patched` guarantees.
+    pub fn distance_patched_with(
+        &self,
+        patched: &PatchedCloud<'_>,
+        transport: &mut BatchTransport,
+    ) -> Result<GridEmdReport> {
+        self.patched_inner(patched, Some(transport))
+    }
+
+    fn patched_inner(
+        &self,
+        patched: &PatchedCloud<'_>,
+        transport: Option<&mut BatchTransport>,
+    ) -> Result<GridEmdReport> {
         let cache = patched.cache();
         if cache.rows().is_empty() {
             return Err(EmdError::EmptyInput);
@@ -223,7 +253,14 @@ impl GridEmd {
         let scale = self.axis_scale(&spec);
         let side = cache.side_for(&spec, &scale)?;
         let qb = patched.quantize_on(&spec, &side.quant);
-        self.solve_pair(&scale, &side.signature, side.occupied, side.skipped, qb)
+        self.solve_pair(
+            &scale,
+            &side.signature,
+            side.occupied,
+            side.skipped,
+            qb,
+            transport,
+        )
     }
 
     /// The grid spec for pre-sorted per-axis union columns, under this
@@ -284,7 +321,12 @@ impl GridEmd {
     }
 
     /// Shared back half of the pipeline: solve the transportation problem
-    /// between the prepared `a` side and the quantized `b` side.
+    /// between the prepared `a` side and the quantized `b` side. Exact
+    /// solves run on a [`BatchTransport`] arena: the caller's (may
+    /// warm-start; see [`GridEmd::distance_patched_with`]) or, when
+    /// `transport` is `None`, this thread's shared cold arena — pure
+    /// allocation reuse, bit-identical to a standalone
+    /// [`crate::TransportProblem`] solve.
     fn solve_pair(
         &self,
         scale: &[f64],
@@ -292,6 +334,7 @@ impl GridEmd {
         occupied_a: usize,
         skipped_a: usize,
         qb: crate::signature::CloudQuant,
+        transport: Option<&mut BatchTransport>,
     ) -> Result<GridEmdReport> {
         if qb.total == 0.0 {
             return Err(EmdError::EmptyInput);
@@ -303,8 +346,12 @@ impl GridEmd {
         let cost = crate::ground_distance_matrix(sig_a.points(), sig_b.points());
         let exact = sig_a.len() * sig_b.len() <= self.max_exact_cells;
         let emd = if exact {
-            TransportProblem::new(sig_a.normalized_weights(), sig_b.normalized_weights(), cost)?
-                .solve()?
+            let wa = sig_a.normalized_weights();
+            let wb = sig_b.normalized_weights();
+            match transport {
+                Some(arena) => arena.solve(&wa, &wb, &cost)?,
+                None => crate::batch::with_cold_arena(|arena| arena.solve_cold(&wa, &wb, &cost))?,
+            }
         } else {
             // Debiased Sinkhorn divergence: the raw entropic cost has a
             // positive floor even for identical distributions (the plan is

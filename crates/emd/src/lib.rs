@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod basis_tree;
+mod batch;
 mod emd1d;
 mod error;
 mod flow;
@@ -44,6 +45,7 @@ mod signature;
 mod sinkhorn;
 mod transport;
 
+pub use batch::{BatchStats, BatchTransport};
 pub use emd1d::{emd_1d_histograms, emd_1d_samples, emd_1d_weighted};
 pub use error::EmdError;
 pub use flow::MinCostFlow;

@@ -1,3 +1,4 @@
+use crate::batch::BatchTransport;
 use crate::{EmdError, Result};
 use parking_lot::Mutex;
 use sd_stats::{sorted_union_columns, GridHistogram, GridSpec};
@@ -178,16 +179,29 @@ pub struct CloudQuant {
 pub fn quantize(spec: &GridSpec, rows: &[Vec<f64>]) -> CloudQuant {
     match dense_len(spec) {
         Some(len) => {
+            // Two-phase chunked binning: first bin a block of rows into a
+            // small index buffer (independent iterations the compiler can
+            // pipeline — no loop-carried dependence on `counts`), then
+            // scatter the increments. Row order is preserved, so totals
+            // accumulate in the same order as the naive per-row loop and
+            // the result is bit-identical.
+            const CHUNK: usize = 64;
+            const MISSING: usize = usize::MAX;
             let mut counts = vec![0.0f64; len];
             let mut total = 0.0;
             let mut skipped = 0usize;
-            for row in rows {
-                match flat_cell_of(spec, row) {
-                    Some(i) => {
-                        counts[i] += 1.0;
+            let mut cells = [MISSING; CHUNK];
+            for block in rows.chunks(CHUNK) {
+                for (slot, row) in cells.iter_mut().zip(block) {
+                    *slot = flat_cell_of(spec, row).unwrap_or(MISSING);
+                }
+                for &cell in &cells[..block.len()] {
+                    if cell == MISSING {
+                        skipped += 1;
+                    } else {
+                        counts[cell] += 1.0;
                         total += 1.0;
                     }
-                    None => skipped += 1,
                 }
             }
             dense_quant(spec, counts, total, skipped)
@@ -277,6 +291,9 @@ pub struct SignatureCache {
     rows: Vec<Vec<f64>>,
     sorted_columns: Vec<Vec<f64>>,
     memo: Mutex<Vec<Arc<CachedSide>>>,
+    /// Pool of batch-transport arenas for callers that chain many exact
+    /// solves against this cache (see [`SignatureCache::with_transport`]).
+    transports: Mutex<Vec<BatchTransport>>,
 }
 
 impl SignatureCache {
@@ -289,7 +306,23 @@ impl SignatureCache {
             rows,
             sorted_columns,
             memo: Mutex::new(Vec::new()),
+            transports: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Runs `f` with a [`BatchTransport`] arena checked out of this
+    /// cache's pool (created on first use, recycled afterwards — the
+    /// engine's strategy/candidate loops reuse one allocation set per
+    /// concurrent caller). The arena's warm chain is reset at checkout,
+    /// so the outcome depends only on the solves `f` itself performs:
+    /// pool checkout order across threads cannot leak state between
+    /// callers, keeping engine results deterministic.
+    pub fn with_transport<R>(&self, f: impl FnOnce(&mut BatchTransport) -> R) -> R {
+        let mut arena = self.transports.lock().pop().unwrap_or_default();
+        arena.reset_chain();
+        let out = f(&mut arena);
+        self.transports.lock().push(arena);
+        out
     }
 
     /// The cached cloud.
@@ -555,11 +588,32 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 
 /// Dense ground-distance matrix `c[i][j] = ‖p_i − q_j‖₂` between two point
 /// sets, flattened row-major (`i * m + j`).
+///
+/// The `q` coordinates are flattened into one contiguous buffer first, so
+/// the hot inner loop strides sequentially through memory (independent
+/// per-element distance sums the autovectorizer can unroll) instead of
+/// chasing one `Vec` allocation per point. Each distance still sums its
+/// squared differences in ascending axis order, exactly like
+/// [`euclidean`], so the matrix is bit-identical to the nested-`Vec`
+/// formulation.
 pub fn ground_distance_matrix(p: &[Vec<f64>], q: &[Vec<f64>]) -> Vec<f64> {
-    let mut cost = Vec::with_capacity(p.len() * q.len());
-    for pi in p {
-        for qj in q {
-            cost.push(euclidean(pi, qj));
+    let m = q.len();
+    let dim = q.first().map_or(0, |r| r.len());
+    if m == 0 || p.is_empty() || dim == 0 {
+        return vec![0.0; p.len() * m];
+    }
+    let mut qflat = Vec::with_capacity(m * dim);
+    for qj in q {
+        qflat.extend_from_slice(qj);
+    }
+    let mut cost = vec![0.0f64; p.len() * m];
+    for (pi, row) in p.iter().zip(cost.chunks_mut(m)) {
+        for (c, qj) in row.iter_mut().zip(qflat.chunks_exact(dim)) {
+            let mut acc = 0.0;
+            for (x, y) in pi.iter().zip(qj) {
+                acc += (x - y) * (x - y);
+            }
+            *c = acc.sqrt();
         }
     }
     cost

@@ -36,6 +36,144 @@ const PIVOT_TOL: f64 = 1e-12;
 /// clear accumulated floating-point drift.
 const RECOMPUTE_EVERY: usize = 1024;
 
+/// Validates a balanced transportation instance (shape, weight, cost and
+/// balance checks shared by [`TransportProblem::new`] and the batch
+/// arena), returning the factor demands must be rescaled by so the totals
+/// match exactly.
+pub(crate) fn validate_balanced(supply: &[f64], demand: &[f64], cost: &[f64]) -> Result<f64> {
+    let n = supply.len();
+    let m = demand.len();
+    if n == 0 || m == 0 {
+        return Err(EmdError::EmptyInput);
+    }
+    if cost.len() != n * m {
+        return Err(EmdError::CostShape {
+            expected: (n, m),
+            got: (cost.len() / m.max(1), m),
+        });
+    }
+    for &w in supply.iter().chain(demand.iter()) {
+        if !w.is_finite() || w < 0.0 {
+            return Err(EmdError::InvalidWeight { value: w });
+        }
+    }
+    for &c in cost {
+        if !c.is_finite() {
+            return Err(EmdError::InvalidWeight { value: c });
+        }
+    }
+    let ts: f64 = supply.iter().sum();
+    let td: f64 = demand.iter().sum();
+    if ts <= 0.0 || td <= 0.0 {
+        return Err(EmdError::EmptyInput);
+    }
+    if ((ts - td) / ts.max(td)).abs() > BALANCE_TOL {
+        return Err(EmdError::Unbalanced {
+            supply: ts,
+            demand: td,
+        });
+    }
+    Ok(ts / td)
+}
+
+/// North-west-corner initial basic feasible solution with exactly
+/// `n + m − 1` basic cells (degenerate zero-flow cells included), written
+/// into `flow` (which must already be zeroed). `s` / `d` are reusable
+/// working copies of the marginals; `basis` receives the basic cell ids.
+///
+/// Any floating-point residue left after the staircase walk (supplies and
+/// demands only balance up to rounding) is clamped into the final basic
+/// cell so the initial flow meets the row/column marginals to machine
+/// precision.
+#[allow(clippy::too_many_arguments)] // flat scratch-buffer signature is the point
+pub(crate) fn northwest_corner_into(
+    n: usize,
+    m: usize,
+    supply: &[f64],
+    demand: &[f64],
+    s: &mut Vec<f64>,
+    d: &mut Vec<f64>,
+    flow: &mut [f64],
+    basis: &mut Vec<u32>,
+) {
+    s.clear();
+    s.extend_from_slice(supply);
+    d.clear();
+    d.extend_from_slice(demand);
+    basis.clear();
+    basis.reserve(n + m - 1);
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let q = s[i].min(d[j]).max(0.0);
+        flow[i * m + j] = q;
+        basis.push((i * m + j) as u32);
+        s[i] -= q;
+        d[j] -= q;
+        if basis.len() == n + m - 1 {
+            // Clamp rounding residue into the final basic cell.
+            let residue = s[i].max(d[j]);
+            if residue > 0.0 {
+                flow[i * m + j] += residue;
+            }
+            break;
+        }
+        // Advance along the exhausted side; on ties prefer the row so a
+        // degenerate zero-flow basic cell keeps the basis a tree.
+        if s[i] <= d[j] && i + 1 < n {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Runs the MODI pivot loop to optimality on a built basis tree and its
+/// matching basic flow — the shared core of [`TransportProblem::solve`]
+/// and the batch arena's cold and warm paths (identical constants,
+/// pricing, and pivot order, so the cold batch path is bit-identical to
+/// a standalone solve).
+pub(crate) fn run_simplex(
+    n: usize,
+    m: usize,
+    cost: &[f64],
+    tree: &mut BasisTree,
+    flow: &mut [f64],
+) -> Result<()> {
+    let cells = n * m;
+    // Block pricing: candidate blocks of ~√(n·m) cells keep each pricing
+    // step cheap while still finding a "good" entering cell.
+    let block = 64.max((cells as f64).sqrt() as usize);
+    let max_pivots = 2000 + 20 * cells;
+    let cost_scale = cost
+        .iter()
+        .fold(0.0f64, |acc, &c| acc.max(c.abs()))
+        .max(1.0);
+    let tol = PIVOT_TOL * cost_scale + PIVOT_TOL;
+
+    let mut cursor = 0usize;
+    for pivots in 0..max_pivots {
+        let entering = match tree.find_entering(cost, tol, &mut cursor, block) {
+            Some(cell) => Some(cell),
+            None => {
+                // Confirm optimality against drift-free duals before
+                // declaring victory.
+                tree.recompute_potentials(cost);
+                tree.find_entering(cost, tol, &mut cursor, block)
+            }
+        };
+        let Some(cell) = entering else {
+            return Ok(());
+        };
+        tree.pivot(cell / m, cell % m, cost, flow)?;
+        if (pivots + 1) % RECOMPUTE_EVERY == 0 {
+            tree.recompute_potentials(cost);
+        }
+    }
+    Err(EmdError::NoConvergence {
+        iterations: max_pivots,
+    })
+}
+
 impl TransportProblem {
     /// Creates a balanced transportation problem.
     ///
@@ -43,40 +181,10 @@ impl TransportProblem {
     /// non-negative, with totals agreeing to within a relative `1e-6`;
     /// demands are then rescaled so the totals match exactly.
     pub fn new(supply: Vec<f64>, demand: Vec<f64>, cost: Vec<f64>) -> Result<Self> {
+        // Rescale demand so the problem balances exactly.
+        let scale = validate_balanced(&supply, &demand, &cost)?;
         let n = supply.len();
         let m = demand.len();
-        if n == 0 || m == 0 {
-            return Err(EmdError::EmptyInput);
-        }
-        if cost.len() != n * m {
-            return Err(EmdError::CostShape {
-                expected: (n, m),
-                got: (cost.len() / m.max(1), m),
-            });
-        }
-        for &w in supply.iter().chain(demand.iter()) {
-            if !w.is_finite() || w < 0.0 {
-                return Err(EmdError::InvalidWeight { value: w });
-            }
-        }
-        for &c in &cost {
-            if !c.is_finite() {
-                return Err(EmdError::InvalidWeight { value: c });
-            }
-        }
-        let ts: f64 = supply.iter().sum();
-        let td: f64 = demand.iter().sum();
-        if ts <= 0.0 || td <= 0.0 {
-            return Err(EmdError::EmptyInput);
-        }
-        if ((ts - td) / ts.max(td)).abs() > BALANCE_TOL {
-            return Err(EmdError::Unbalanced {
-                supply: ts,
-                demand: td,
-            });
-        }
-        // Rescale demand so the problem balances exactly.
-        let scale = ts / td;
         let demand = demand.into_iter().map(|d| d * scale).collect();
         Ok(TransportProblem {
             n,
@@ -130,42 +238,9 @@ impl TransportProblem {
         let basis_cells = self.northwest_corner();
         let mut tree = BasisTree::build(self.n, self.m, &basis_cells, &self.cost)
             .ok_or(EmdError::NoConvergence { iterations: 0 })?;
-
-        let cells = self.n * self.m;
-        // Block pricing: candidate blocks of ~√(n·m) cells keep each
-        // pricing step cheap while still finding a "good" entering cell.
-        let block = 64.max((cells as f64).sqrt() as usize);
-        let max_pivots = 2000 + 20 * cells;
-        let cost_scale = self
-            .cost
-            .iter()
-            .fold(0.0f64, |acc, &c| acc.max(c.abs()))
-            .max(1.0);
-        let tol = PIVOT_TOL * cost_scale + PIVOT_TOL;
-
-        let mut cursor = 0usize;
-        for pivots in 0..max_pivots {
-            let entering = match tree.find_entering(&self.cost, tol, &mut cursor, block) {
-                Some(cell) => Some(cell),
-                None => {
-                    // Confirm optimality against drift-free duals before
-                    // declaring victory.
-                    tree.recompute_potentials(&self.cost);
-                    tree.find_entering(&self.cost, tol, &mut cursor, block)
-                }
-            };
-            let Some(cell) = entering else {
-                self.solved = true;
-                return Ok(self.objective() / self.total_mass());
-            };
-            tree.pivot(cell / self.m, cell % self.m, &self.cost, &mut self.flow)?;
-            if (pivots + 1) % RECOMPUTE_EVERY == 0 {
-                tree.recompute_potentials(&self.cost);
-            }
-        }
-        Err(EmdError::NoConvergence {
-            iterations: max_pivots,
-        })
+        run_simplex(self.n, self.m, &self.cost, &mut tree, &mut self.flow)?;
+        self.solved = true;
+        Ok(self.objective() / self.total_mass())
     }
 
     /// Whether `solve` has completed successfully.
@@ -173,41 +248,23 @@ impl TransportProblem {
         self.solved
     }
 
-    /// North-west-corner initial basic feasible solution with exactly
-    /// `n + m − 1` basic cells (degenerate zero-flow cells included),
-    /// written into `self.flow`. Returns the basic cell ids.
-    ///
-    /// Any floating-point residue left after the staircase walk (supplies
-    /// and demands only balance up to rounding) is clamped into the final
-    /// basic cell so the initial flow meets the row/column marginals to
-    /// machine precision.
+    /// North-west-corner initial basic feasible solution (see
+    /// [`northwest_corner_into`]), written into `self.flow`. Returns the
+    /// basic cell ids.
     fn northwest_corner(&mut self) -> Vec<u32> {
-        let mut s = self.supply.clone();
-        let mut d = self.demand.clone();
-        let mut basis = Vec::with_capacity(self.n + self.m - 1);
-        let (mut i, mut j) = (0usize, 0usize);
-        loop {
-            let q = s[i].min(d[j]).max(0.0);
-            self.flow[i * self.m + j] = q;
-            basis.push((i * self.m + j) as u32);
-            s[i] -= q;
-            d[j] -= q;
-            if basis.len() == self.n + self.m - 1 {
-                // Clamp rounding residue into the final basic cell.
-                let residue = s[i].max(d[j]);
-                if residue > 0.0 {
-                    self.flow[i * self.m + j] += residue;
-                }
-                break;
-            }
-            // Advance along the exhausted side; on ties prefer the row so a
-            // degenerate zero-flow basic cell keeps the basis a tree.
-            if s[i] <= d[j] && i + 1 < self.n {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
+        let mut s = Vec::new();
+        let mut d = Vec::new();
+        let mut basis = Vec::new();
+        northwest_corner_into(
+            self.n,
+            self.m,
+            &self.supply,
+            &self.demand,
+            &mut s,
+            &mut d,
+            &mut self.flow,
+            &mut basis,
+        );
         basis
     }
 }
@@ -366,18 +423,11 @@ mod tests {
     #[test]
     fn matches_min_cost_flow_on_random_corpus() {
         // Cross-validate the tree-based simplex against the structurally
-        // independent successive-shortest-paths solver (test-only; ~23×
-        // slower at n = 128, see `MinCostFlow`) on a corpus of random
-        // balanced instances, including rectangular shapes. The corpus
-        // runs reduced by default (SD_SCALE unset or `small`) so plain
-        // `cargo test -q` stays fast; `SD_SCALE=harness` / `paper`
-        // sweeps the full corpus, and CI runs the full sweep as a
-        // dedicated step.
-        let trials: u64 = if std::env::var("SD_SCALE").is_ok_and(|v| v != "small") {
-            12
-        } else {
-            4
-        };
+        // independent successive-shortest-paths solver (see `MinCostFlow`)
+        // on a corpus of random balanced instances, including rectangular
+        // shapes. The bipartite-specialized flow solver is fast enough
+        // that the full corpus runs on every `cargo test`.
+        let trials: u64 = 12;
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
             state = state

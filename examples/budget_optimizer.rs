@@ -46,6 +46,7 @@ fn main() {
         cost_model: cost_model.clone(),
         policy,
         distortion_weight: 0.1,
+        transport: TransportMode::default(),
     };
 
     println!(

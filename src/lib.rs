@@ -72,7 +72,7 @@ pub mod prelude {
         CostModel, CostSweepConfig, DistortionKernel, DistortionMetric, Experiment,
         ExperimentConfig, ExperimentResult, FrontierPoint, MetricScore, NeighborPooling,
         PreparedKernel, SelectionPolicy, StrategyOutcome, TaskExecutor, ThreadPoolExecutor,
-        WindowedConfig, WindowedExperiment, WindowedResult,
+        TransportMode, WindowedConfig, WindowedExperiment, WindowedResult,
     };
     pub use sd_data::{Dataset, NodeId, TimeSeries, Topology};
     pub use sd_emd::{emd, emd_1d_samples, GridEmd, Signature};

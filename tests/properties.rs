@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use statistical_distortion::emd::{
-    emd, emd_1d_weighted, ground_distance_matrix, MinCostFlow, Signature, TransportProblem,
+    emd, emd_1d_weighted, ground_distance_matrix, BatchTransport, MinCostFlow, Signature,
+    TransportProblem,
 };
 use statistical_distortion::glitch::{GlitchIndex, GlitchMatrix, GlitchType, GlitchWeights};
 use statistical_distortion::stats::{quantile, sorted_present, Ecdf};
@@ -179,18 +180,12 @@ proptest! {
     }
 }
 
-/// Case count for the min-cost-flow cross-validation corpus. The flow
-/// solver is test-only and ~23× slower than the simplex (see
-/// `sd_emd::MinCostFlow`), so the random corpus runs reduced by default
-/// (SD_SCALE unset or `small`) so plain `cargo test -q` stays fast;
-/// `SD_SCALE=harness` / `paper` sweeps the full corpus, and CI runs the
-/// full sweep as a dedicated step.
+/// Case count for the min-cost-flow cross-validation corpus. The
+/// bipartite-specialized successive-shortest-paths solver (see
+/// `sd_emd::MinCostFlow`) is fast enough that the full corpus runs on
+/// every `cargo test` — no `SD_SCALE` gate.
 fn flow_corpus_config() -> ProptestConfig {
-    if std::env::var("SD_SCALE").is_ok_and(|v| v != "small") {
-        ProptestConfig::with_cases(64)
-    } else {
-        ProptestConfig::with_cases(12)
-    }
+    ProptestConfig::with_cases(64)
 }
 
 proptest! {
@@ -250,6 +245,60 @@ proptest! {
             .unwrap();
         let via_flow = MinCostFlow::new(supply, demand, cost).unwrap().solve().unwrap();
         prop_assert!((via_simplex - via_flow).abs() < 1e-7, "{via_simplex} vs {via_flow}");
+    }
+
+    #[test]
+    fn warm_batch_transport_matches_cold_solves(
+        supply in prop::collection::vec(1u8..=4, 2..10),
+        demand in prop::collection::vec(1u8..=4, 2..10),
+        seed in 0u64..1000,
+    ) {
+        // A warm-started `BatchTransport` chain over one fixed dirty
+        // signature and a drifting cleaned signature — the engine's batch
+        // shape — must match independent cold solves within the documented
+        // objective contract, `1e-9 · (1 + |cold|)`. Small-integer masses
+        // make degenerate duplicate-mass instances (ties, zero basic
+        // flows), the regime that historically broke pivots; infeasible
+        // inherited bases must fall back to a cold solve cleanly rather
+        // than erroring.
+        let st: f64 = supply.iter().map(|&x| x as f64).sum();
+        let dt: f64 = demand.iter().map(|&x| x as f64).sum();
+        let supply: Vec<f64> = supply.iter().map(|&x| x as f64 / st).collect();
+        let mut demand: Vec<f64> = demand.iter().map(|&x| x as f64 / dt).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let cost: Vec<f64> = (0..supply.len() * demand.len())
+            .map(|_| (next() * 3.0).floor())
+            .collect();
+        let mut batch = BatchTransport::new();
+        for round in 0..6 {
+            if round > 0 {
+                // Drift the cleaned masses: move a slice of demand between
+                // two cells (keeps totals balanced, support identical —
+                // the warm-startable shape). Every other round drifts by
+                // zero, an exact duplicate of the previous instance.
+                let a = (next() * demand.len() as f64) as usize % demand.len();
+                let b = (next() * demand.len() as f64) as usize % demand.len();
+                let slice = if round % 2 == 0 { demand[a] * 0.25 } else { 0.0 };
+                demand[a] -= slice;
+                demand[b] += slice;
+            }
+            let warm = batch.solve(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            prop_assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+        let stats = batch.stats();
+        prop_assert_eq!(stats.solves, 6);
+        prop_assert_eq!(stats.warm_hits + stats.fallbacks, 5, "{:?}", stats);
     }
 }
 
