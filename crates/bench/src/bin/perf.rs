@@ -33,16 +33,19 @@
 use sd_bench::synth::{grid_cloud_pair, transport_instance};
 use sd_bench::{HarnessConfig, Scale};
 use sd_cleaning::paper_strategy;
+use sd_core::WindowedConfig;
 use sd_core::{
     budget_optimize, budget_optimize_reference, cost_sweep, cost_sweep_reference,
     BudgetOptimizerConfig, CostModel, CostSweepConfig, DistortionMetric, Experiment,
     ExperimentConfig, SelectionPolicy, TransportMode,
 };
+use sd_data::Topology;
 use sd_emd::{
     sinkhorn, BatchTransport, GridEmd, MinCostFlow, PatchedCloud, SignatureCache, SinkhornParams,
     TransportProblem,
 };
-use sd_netsim::{generate, NetsimConfig};
+use sd_netsim::{generate, stream_rows, NetsimConfig};
+use sd_serve::{ServeConfig, StreamingService};
 use serde_json::{json, Value};
 use std::hint::black_box;
 use std::time::Instant;
@@ -506,6 +509,91 @@ fn main() {
             ) / units;
             record("thread_scaling", threads, us);
         }
+    }
+
+    // Streaming-service rows: the §3.3 pipeline served online through
+    // sd-serve's bounded-channel shards (`SD_SHARDS`, default 4).
+    // `streaming_throughput` is µs per ingested row for a complete stream
+    // — launch, every row, every window evaluation, and the joined
+    // shutdown all inside the clock — so 10 µs/row ≡ 10⁵ rows/s
+    // sustained, the serving layer's paper-scale target.
+    // `streaming_latency` is the complement: rows are fed one window
+    // stride at a time and the clock runs from the stride's last row to
+    // the blocking `next_window` update — the freshness a live consumer
+    // of the trajectory actually observes. Unlike the engine rows, the
+    // stream itself grows with `SD_SCALE` (throughput claims need
+    // sustained load, not a 6 000-row sprint), so compare rows only
+    // within one scale.
+    {
+        let stream_config = match harness.scale {
+            Scale::Small => NetsimConfig::small(42),
+            Scale::Harness => NetsimConfig::for_topology(Topology::new(2, 10, 5), 170, 42),
+            Scale::Paper => NetsimConfig::harness_scale(42),
+        };
+        let stream_data = generate(&stream_config).dataset;
+        let rows = stream_rows(&stream_data);
+        let nodes: Vec<_> = stream_data.series().iter().map(|s| s.node()).collect();
+        let attributes: Vec<String> = stream_data
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let window = 30usize;
+        let serve = ServeConfig::new(
+            WindowedConfig::paper_default(window, window, harness.seed),
+            attributes,
+        )
+        .with_shards(harness.shards);
+        let strategies = vec![paper_strategy(1)];
+        let stream_iters = match harness.scale {
+            Scale::Small => 5,
+            _ => 10,
+        };
+        let us = measure(
+            stream_iters,
+            || rows.clone(),
+            |rows| {
+                let service = require(
+                    StreamingService::launch(serve.clone(), nodes.clone(), strategies.clone()),
+                    "streaming launch",
+                );
+                for row in rows {
+                    require(service.ingest(row), "streaming ingest");
+                }
+                require(service.finish(), "streaming finish").num_windows() as f64
+            },
+        ) / rows.len() as f64;
+        record("streaming_throughput", rows.len(), us);
+
+        // Uniform series lengths make the time-major stream sliceable by
+        // stride: rows_per_step consecutive rows share one time step.
+        let rows_per_step = nodes.len();
+        let horizon = stream_config.series_len;
+        let num_windows = horizon / window;
+        let mut latencies = Vec::with_capacity(stream_iters * num_windows);
+        for _ in 0..stream_iters {
+            let service = require(
+                StreamingService::launch(serve.clone(), nodes.clone(), strategies.clone()),
+                "streaming launch",
+            );
+            for w in 0..num_windows {
+                let stride_rows =
+                    &rows[w * window * rows_per_step..(w + 1) * window * rows_per_step];
+                for row in stride_rows {
+                    require(service.ingest(row.clone()), "streaming ingest");
+                }
+                let start = Instant::now();
+                let update = require(
+                    service.next_window().ok_or("update feed closed early"),
+                    "streaming next_window",
+                );
+                latencies.push(start.elapsed().as_secs_f64());
+                black_box(update.window_index);
+            }
+            require(service.finish(), "streaming finish");
+        }
+        let us = latencies.iter().sum::<f64>() / latencies.len() as f64 * 1e6;
+        record("streaming_latency", rows_per_step, us);
     }
 
     harness.write_json(

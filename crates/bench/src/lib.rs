@@ -10,6 +10,7 @@
 //! | `SD_REPLICATIONS`  | replications `R`                         | `50`      |
 //! | `SD_SEED`          | base RNG seed                            | `42`      |
 //! | `SD_THREADS`       | worker threads (0 = auto)                | `0`       |
+//! | `SD_SHARDS`        | streaming-service ingestion shards       | `4`       |
 //! | `SD_OUT`           | directory for JSON artifacts (optional)  | unset     |
 //!
 //! Binaries print human-readable rows (the same rows/series the paper
@@ -63,6 +64,8 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Worker threads (0 = auto).
     pub threads: usize,
+    /// Ingestion shards for the streaming-service rows.
+    pub shards: usize,
     /// Optional JSON artifact directory.
     pub out_dir: Option<PathBuf>,
 }
@@ -90,6 +93,7 @@ impl HarnessConfig {
             replications: parse_usize("SD_REPLICATIONS", 50),
             seed,
             threads: parse_usize("SD_THREADS", 0),
+            shards: parse_usize("SD_SHARDS", 4),
             out_dir: std::env::var("SD_OUT").ok().map(PathBuf::from),
         }
     }

@@ -27,6 +27,16 @@ pub enum FrameworkError {
     /// "impossible" states as errors rather than die shard-by-shard.
     /// Seeing one is always a framework bug worth reporting.
     Internal(String),
+    /// A streaming ingestion shard terminated abnormally — it panicked or
+    /// its channel closed mid-stream. The serving layer surfaces this as a
+    /// structured failure of the whole run instead of wedging producers on
+    /// a dead channel.
+    ShardFailed {
+        /// Index of the shard that died.
+        shard: usize,
+        /// What the service observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FrameworkError {
@@ -52,6 +62,9 @@ impl fmt::Display for FrameworkError {
             ),
             FrameworkError::Internal(msg) => {
                 write!(f, "internal invariant violated (framework bug): {msg}")
+            }
+            FrameworkError::ShardFailed { shard, detail } => {
+                write!(f, "streaming shard {shard} failed: {detail}")
             }
         }
     }
@@ -81,5 +94,11 @@ mod tests {
         }
         .to_string()
         .contains("12 draws"));
+        assert!(FrameworkError::ShardFailed {
+            shard: 3,
+            detail: "panicked".into()
+        }
+        .to_string()
+        .contains("shard 3"));
     }
 }

@@ -89,6 +89,7 @@ pub use optimize::{
 pub use runner::parallel_map;
 pub use tables::{table1, Table1Config, Table1Row};
 pub use windowed::{
+    calibrate_window, evaluate_window_artifacts, resolve_neighbor_views, window_bounds,
     NeighborPooling, WindowOutcome, WindowScreen, WindowedConfig, WindowedExperiment,
     WindowedResult,
 };

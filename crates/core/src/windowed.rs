@@ -42,7 +42,7 @@ use crate::{
 };
 use parking_lot::Mutex;
 use sd_cleaning::{CleaningContext, CleaningOutcome, CompositeStrategy};
-use sd_data::{Dataset, TimeSeries, Topology};
+use sd_data::{Dataset, NodeId, NodeState, TimeSeries, Topology};
 use sd_glitch::{
     ConstraintSet, GlitchDetector, GlitchReport, GlitchWeights, OutlierDetector,
     WindowedOutlierDetector,
@@ -380,6 +380,8 @@ impl WindowedExperiment {
             });
         }
         let transforms = self.config.transforms(data.num_attributes());
+        let attribute_names: Vec<String> =
+            data.attributes().iter().map(|a| a.name.clone()).collect();
         let neighbors = self.neighbor_views(data)?;
         // The per-window screen is a pure function of the window, computed
         // inside the group-slot build (once per window, whichever unit
@@ -392,12 +394,16 @@ impl WindowedExperiment {
             num_windows,
             strategies.len(),
             |w| {
-                let (artifacts, screen) = self.window_artifacts(data, w, &transforms, &neighbors);
-                screens.lock()[w] = Some(screen);
-                share_replication(artifacts, &transforms, &self.config.metrics)
+                let calibrated = window_segments(&self.config, data, w).and_then(|segments| {
+                    calibrate_window(&self.config, &attribute_names, w, &segments, &neighbors)
+                });
+                calibrated.map(|(artifacts, screen)| {
+                    screens.lock()[w] = Some(screen);
+                    share_replication(artifacts, &transforms, &self.config.metrics)
+                })
             },
-            |shared, w, s| {
-                evaluate_unit(
+            |shared, w, s| match shared {
+                Ok(shared) => evaluate_unit(
                     shared,
                     &transforms,
                     self.config.weights,
@@ -406,7 +412,8 @@ impl WindowedExperiment {
                     s,
                     &strategies[s],
                 )
-                .map(|outcome| self.window_outcome(outcome, w))
+                .map(|outcome| window_outcome(&self.config, outcome, w)),
+                Err(e) => Err(e.clone()),
             },
         );
         let mut outcomes = Vec::with_capacity(unit_results.len());
@@ -430,174 +437,281 @@ impl WindowedExperiment {
         })
     }
 
-    /// Resolves the pooling policy into per-series neighbour views:
-    /// `(series index, weight)` pairs, in [`Topology::sectors`] order.
-    ///
-    /// Resolved once per run — every window reuses the same views, since
-    /// topology (unlike history) does not change along the stream.
+    /// Resolves the pooling policy into per-series neighbour views. See
+    /// [`resolve_neighbor_views`] — this merely collects the data's node
+    /// order.
     fn neighbor_views(&self, data: &Dataset) -> Result<Vec<Vec<(usize, f64)>>> {
-        if matches!(self.config.pooling, NeighborPooling::OwnOnly) {
-            return Ok(vec![Vec::new(); data.num_series()]);
-        }
-        let topology = self.config.topology.as_ref().ok_or_else(|| {
-            FrameworkError::InvalidConfig(
-                "neighbour pooling requires a topology (WindowedConfig::topology)".into(),
-            )
-        })?;
-        // Node → series index, so neighbour NodeIds resolve to data series.
-        let mut index_of = vec![usize::MAX; topology.num_sectors()];
-        for (i, series) in data.series().iter().enumerate() {
-            let node = series.node();
-            if !topology.contains(node) {
-                return Err(FrameworkError::InvalidConfig(format!(
-                    "series {i} ({node}) lies outside the configured topology"
-                )));
-            }
-            let slot = &mut index_of[topology.sector_index(node)];
-            if *slot != usize::MAX {
-                return Err(FrameworkError::InvalidConfig(format!(
-                    "series {i} and {} both claim node {node}; neighbour \
-                     pooling needs one series per sector",
-                    *slot
-                )));
-            }
-            *slot = i;
-        }
-        let mut views = Vec::with_capacity(data.num_series());
-        for series in data.series() {
-            let node = series.node();
-            let view: Vec<(usize, f64)> = match self.config.pooling {
-                NeighborPooling::OwnOnly => {
-                    // Early-returned at the top of this function; surfaced
-                    // as a structured error rather than a panic (P001).
-                    return Err(FrameworkError::Internal(
-                        "own-only pooling reached neighbour resolution".into(),
-                    ));
-                }
-                NeighborPooling::KHop { hops } => topology
-                    .khop_neighbors(node, hops)
-                    .into_iter()
-                    .filter_map(|m| {
-                        let j = index_of[topology.sector_index(m)];
-                        (j != usize::MAX).then_some((j, 1.0))
-                    })
-                    .collect(),
-                NeighborPooling::Weighted { tower, rnc } => topology
-                    .khop_neighbors(node, 2)
-                    .into_iter()
-                    .filter_map(|m| {
-                        let w = match topology.hop_distance(node, m) {
-                            1 => tower,
-                            _ => rnc,
-                        };
-                        if w <= 0.0 {
-                            return None;
-                        }
-                        let j = index_of[topology.sector_index(m)];
-                        (j != usize::MAX).then_some((j, w))
-                    })
-                    .collect(),
-            };
-            views.push(view);
-        }
-        Ok(views)
+        let nodes: Vec<NodeId> = data.series().iter().map(TimeSeries::node).collect();
+        resolve_neighbor_views(self.config.pooling, self.config.topology.as_ref(), &nodes)
     }
+}
 
-    /// Calibrates one window: streaming screen → pseudo-ideal reference →
-    /// window-fitted detector/context → annotated slice. Also reports what
-    /// the screen did per series ([`WindowScreen`]).
-    fn window_artifacts(
-        &self,
-        data: &Dataset,
-        w: usize,
-        transforms: &[AttributeTransform],
-        neighbors: &[Vec<(usize, f64)>],
-    ) -> (ReplicationArtifacts, WindowScreen) {
-        let start = w * self.config.stride;
-        let end = start + self.config.window;
-        let slice = data.window_slice(start, end);
+/// Resolves a pooling policy into per-series neighbour views:
+/// `(series index, weight)` pairs, indices into `nodes` order.
+///
+/// Resolved once per run — every window reuses the same views, since
+/// topology (unlike history) does not change along the stream. The batch
+/// [`WindowedExperiment`] and the `sd-serve` streaming service both call
+/// this, so a stream and its batch replay screen against identical
+/// neighbourhoods.
+pub fn resolve_neighbor_views(
+    pooling: NeighborPooling,
+    topology: Option<&Topology>,
+    nodes: &[NodeId],
+) -> Result<Vec<Vec<(usize, f64)>>> {
+    if matches!(pooling, NeighborPooling::OwnOnly) {
+        return Ok(vec![Vec::new(); nodes.len()]);
+    }
+    let topology = topology.ok_or_else(|| {
+        FrameworkError::InvalidConfig(
+            "neighbour pooling requires a topology (WindowedConfig::topology)".into(),
+        )
+    })?;
+    // Node → series index, so neighbour NodeIds resolve to data series.
+    let mut index_of = vec![usize::MAX; topology.num_sectors()];
+    for (i, &node) in nodes.iter().enumerate() {
+        if !topology.contains(node) {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "series {i} ({node}) lies outside the configured topology"
+            )));
+        }
+        let slot = &mut index_of[topology.sector_index(node)];
+        if *slot != usize::MAX {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "series {i} and {} both claim node {node}; neighbour \
+                 pooling needs one series per sector",
+                *slot
+            )));
+        }
+        *slot = i;
+    }
+    let mut views = Vec::with_capacity(nodes.len());
+    for &node in nodes {
+        let view: Vec<(usize, f64)> = match pooling {
+            NeighborPooling::OwnOnly => {
+                // Early-returned at the top of this function; surfaced
+                // as a structured error rather than a panic (P001).
+                return Err(FrameworkError::Internal(
+                    "own-only pooling reached neighbour resolution".into(),
+                ));
+            }
+            NeighborPooling::KHop { hops } => topology
+                .khop_neighbors(node, hops)
+                .into_iter()
+                .filter_map(|m| {
+                    let j = index_of[topology.sector_index(m)];
+                    (j != usize::MAX).then_some((j, 1.0))
+                })
+                .collect(),
+            NeighborPooling::Weighted { tower, rnc } => topology
+                .khop_neighbors(node, 2)
+                .into_iter()
+                .filter_map(|m| {
+                    let w = match topology.hop_distance(node, m) {
+                        1 => tower,
+                        _ => rnc,
+                    };
+                    if w <= 0.0 {
+                        return None;
+                    }
+                    let j = index_of[topology.sector_index(m)];
+                    (j != usize::MAX).then_some((j, w))
+                })
+                .collect(),
+        };
+        views.push(view);
+    }
+    Ok(views)
+}
 
-        let mut screen = WindowedOutlierDetector::new(self.config.window, self.config.sigma_k);
-        screen.min_history = self.config.min_history;
-        let structural = GlitchDetector::new(self.config.constraints.clone(), None);
-        let weighted = matches!(self.config.pooling, NeighborPooling::Weighted { .. });
+/// The retained-history segment `[base, end)` every series must supply to
+/// [`calibrate_window`] for window `w`: `base` reaches one window length
+/// before the window start (the screen's history depth), clipped at the
+/// stream origin. Returns `(start, end, base)`.
+pub fn window_bounds(config: &WindowedConfig, w: usize) -> (usize, usize, usize) {
+    let start = w * config.stride;
+    let end = start + config.window;
+    (start, end, start.saturating_sub(config.window))
+}
 
-        // Pseudo-ideal reference: in-window cells surviving the missing /
-        // constraint / history screens. History windows run on the full
-        // stream, so they reach back past the window start — and, under
-        // neighbour pooling, across collocated sectors.
-        let mut reference = slice.clone();
-        let mut history_flagged = vec![0usize; slice.num_series()];
-        let mut structural_flagged = vec![0usize; slice.num_series()];
-        for (i, window_series) in slice.series().iter().enumerate() {
-            let flags = structural.detect_series(window_series);
-            let stream_series = data.series_at(i);
-            let pooled: Vec<(&TimeSeries, f64)> = neighbors[i]
-                .iter()
-                .map(|&(j, wt)| (data.series_at(j), wt))
-                .collect();
-            let unweighted: Vec<&TimeSeries> = if weighted {
-                Vec::new()
-            } else {
-                pooled.iter().map(|&(s, _)| s).collect()
-            };
-            for a in 0..slice.num_attributes() {
-                for t in 0..window_series.len() {
-                    if flags.any(a, t) {
-                        structural_flagged[i] += 1;
-                        reference.series_mut()[i].set_missing(a, t);
+/// Replays each series of `data` through a bounded [`NodeState`] ring and
+/// materializes window `w`'s `[base, end)` segment — the batch path's
+/// segment source, shared byte-for-byte with the streaming shards.
+fn window_segments(config: &WindowedConfig, data: &Dataset, w: usize) -> Result<Vec<TimeSeries>> {
+    let (_, end, base) = window_bounds(config, w);
+    let capacity = 2 * config.window;
+    data.series()
+        .iter()
+        .map(|series| {
+            NodeState::from_series(series, capacity, base, end)
+                .materialize(base, end)
+                .map_err(|e| FrameworkError::Internal(format!("window {w} segment: {e}")))
+        })
+        .collect()
+}
+
+/// Calibrates one window from per-series history segments: streaming
+/// screen → pseudo-ideal reference → window-fitted detector/context →
+/// annotated slice. Also reports what the screen did per series
+/// ([`WindowScreen`]).
+///
+/// `segments[i]` must cover the retained stream `[base, end)` of series
+/// `i` (see [`window_bounds`]; shorter series clip exactly like
+/// [`TimeSeries::slice`]). Because the history screen looks back at most
+/// one window length, calibrating on these bounded segments is
+/// bit-identical to screening against the full stream — the property the
+/// streaming service's ring buffers rely on. A sector that last reported
+/// more than one window length before `start` contributes only its
+/// retained tail under neighbour pooling.
+pub fn calibrate_window(
+    config: &WindowedConfig,
+    attribute_names: &[String],
+    w: usize,
+    segments: &[TimeSeries],
+    neighbors: &[Vec<(usize, f64)>],
+) -> Result<(ReplicationArtifacts, WindowScreen)> {
+    let (start, end, base) = window_bounds(config, w);
+    let offset = start - base; // window start in segment-local time
+    let slice_series: Vec<TimeSeries> = segments
+        .iter()
+        .map(|seg| seg.slice(offset, end - base))
+        .collect();
+    let slice = Dataset::new(attribute_names.to_vec(), slice_series)
+        .map_err(|e| FrameworkError::Internal(format!("window {w} slice: {e}")))?;
+    let transforms = config.transforms(slice.num_attributes());
+
+    let mut screen = WindowedOutlierDetector::new(config.window, config.sigma_k);
+    screen.min_history = config.min_history;
+    let structural = GlitchDetector::new(config.constraints.clone(), None);
+    let weighted = matches!(config.pooling, NeighborPooling::Weighted { .. });
+
+    // Pseudo-ideal reference: in-window cells surviving the missing /
+    // constraint / history screens. History windows run on the retained
+    // segment, so they reach back past the window start — and, under
+    // neighbour pooling, across collocated sectors.
+    let mut reference = slice.clone();
+    let mut history_flagged = vec![0usize; slice.num_series()];
+    let mut structural_flagged = vec![0usize; slice.num_series()];
+    for (i, window_series) in slice.series().iter().enumerate() {
+        let flags = structural.detect_series(window_series);
+        let segment = &segments[i];
+        let pooled: Vec<(&TimeSeries, f64)> = neighbors[i]
+            .iter()
+            .map(|&(j, wt)| (&segments[j], wt))
+            .collect();
+        let unweighted: Vec<&TimeSeries> = if weighted {
+            Vec::new()
+        } else {
+            pooled.iter().map(|&(s, _)| s).collect()
+        };
+        for a in 0..slice.num_attributes() {
+            for t in 0..window_series.len() {
+                if flags.any(a, t) {
+                    structural_flagged[i] += 1;
+                    reference.series_mut()[i].set_missing(a, t);
+                } else {
+                    let hit = if weighted {
+                        screen.is_outlier_weighted(segment, &pooled, a, offset + t)
                     } else {
-                        let hit = if weighted {
-                            screen.is_outlier_weighted(stream_series, &pooled, a, start + t)
-                        } else {
-                            screen.is_outlier(stream_series, &unweighted, a, start + t)
-                        };
-                        if hit {
-                            history_flagged[i] += 1;
-                            reference.series_mut()[i].set_missing(a, t);
-                        }
+                        screen.is_outlier(segment, &unweighted, a, offset + t)
+                    };
+                    if hit {
+                        history_flagged[i] += 1;
+                        reference.series_mut()[i].set_missing(a, t);
                     }
                 }
             }
         }
-        let window_screen = WindowScreen {
-            window_index: w,
-            start,
-            end,
-            history_flagged,
-            structural_flagged,
-        };
-
-        let outliers = OutlierDetector::fit(&reference, transforms, self.config.sigma_k);
-        let context = CleaningContext::from_detector(&reference, transforms, &outliers);
-        let detector = GlitchDetector::new(self.config.constraints.clone(), Some(outliers));
-        let dirty_matrices = detector.detect_dataset(&slice);
-        let artifacts = ReplicationArtifacts {
-            replication: w,
-            dirty: slice,
-            ideal: reference,
-            detector,
-            context,
-            dirty_matrices,
-        };
-        (artifacts, window_screen)
     }
+    let window_screen = WindowScreen {
+        window_index: w,
+        start,
+        end,
+        history_flagged,
+        structural_flagged,
+    };
 
-    fn window_outcome(&self, outcome: StrategyOutcome, w: usize) -> WindowOutcome {
-        let start = w * self.config.stride;
-        WindowOutcome {
-            window_index: w,
-            start,
-            end: start + self.config.window,
-            strategy: outcome.strategy,
-            strategy_index: outcome.strategy_index,
-            improvement: outcome.improvement,
-            distortion: outcome.distortion,
-            distortions: outcome.distortions,
-            cleaning: outcome.cleaning,
-            dirty_report: outcome.dirty_report,
-            treated_report: outcome.treated_report,
-        }
+    let outliers = OutlierDetector::fit(&reference, &transforms, config.sigma_k);
+    let context = CleaningContext::from_detector(&reference, &transforms, &outliers);
+    let detector = GlitchDetector::new(config.constraints.clone(), Some(outliers));
+    let dirty_matrices = detector.detect_dataset(&slice);
+    let artifacts = ReplicationArtifacts {
+        replication: w,
+        dirty: slice,
+        ideal: reference,
+        detector,
+        context,
+        dirty_matrices,
+    };
+    Ok((artifacts, window_screen))
+}
+
+/// Scores every strategy on one calibrated window via the engine's
+/// group-slot machinery (one group, `strategies.len()` units), returning
+/// outcomes in strategy order.
+///
+/// The window index is `artifacts.replication` (as produced by
+/// [`calibrate_window`]); RNG streams derive from `(config.seed, window,
+/// strategy)` exactly as in [`WindowedExperiment::run`], so a stream
+/// evaluated window-at-a-time is bit-identical to the batch run.
+pub fn evaluate_window_artifacts<E: TaskExecutor>(
+    config: &WindowedConfig,
+    strategies: &[CompositeStrategy],
+    executor: &E,
+    artifacts: ReplicationArtifacts,
+) -> Result<Vec<WindowOutcome>> {
+    if config.metrics.is_empty() {
+        return Err(FrameworkError::InvalidConfig(
+            "at least one distortion metric is required".into(),
+        ));
+    }
+    let w = artifacts.replication;
+    let transforms = config.transforms(artifacts.dirty.num_attributes());
+    // `run_staged` builds each group at most once; the slot hands the
+    // artifacts to that single build without cloning them.
+    let slot: Mutex<Option<ReplicationArtifacts>> = Mutex::new(Some(artifacts));
+    let unit_results = run_staged(
+        executor,
+        1,
+        strategies.len(),
+        |_| {
+            slot.lock()
+                .take()
+                .map(|a| share_replication(a, &transforms, &config.metrics))
+        },
+        |shared, _, s| match shared {
+            Some(shared) => evaluate_unit(
+                shared,
+                &transforms,
+                config.weights,
+                config.seed,
+                w,
+                s,
+                &strategies[s],
+            )
+            .map(|outcome| window_outcome(config, outcome, w)),
+            None => Err(FrameworkError::Internal(
+                "window artifacts were consumed by an earlier group build".into(),
+            )),
+        },
+    );
+    unit_results.into_iter().collect()
+}
+
+fn window_outcome(config: &WindowedConfig, outcome: StrategyOutcome, w: usize) -> WindowOutcome {
+    let start = w * config.stride;
+    WindowOutcome {
+        window_index: w,
+        start,
+        end: start + config.window,
+        strategy: outcome.strategy,
+        strategy_index: outcome.strategy_index,
+        improvement: outcome.improvement,
+        distortion: outcome.distortion,
+        distortions: outcome.distortions,
+        cleaning: outcome.cleaning,
+        dirty_report: outcome.dirty_report,
+        treated_report: outcome.treated_report,
     }
 }
 

@@ -16,6 +16,9 @@
 //!   record pooling (the paper computes EMD "treating each time instance as
 //!   a separate data point");
 //! * [`Window`] — a borrowed `w`-step history view `F^w_t`;
+//! * [`NodeState`] / [`ArrivalRow`] — a bounded per-sector ring buffer over
+//!   streaming arrivals, shared by the batch windowed mode and the
+//!   `sd-serve` ingestion shards;
 //! * [`DatasetPatch`] / [`CleanedView`] — sparse cell-edit logs and the
 //!   copy-on-write cleaned view the experiment engine materializes from
 //!   them (touched series cloned, untouched series borrowed).
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 mod dataset;
 mod node;
+mod node_state;
 mod patch;
 mod series;
 mod topology;
@@ -43,6 +47,7 @@ mod window;
 
 pub use dataset::{AttributeMeta, DataError, Dataset};
 pub use node::{NodeId, RncId, TowerId};
+pub use node_state::{ArrivalRow, NodeState, StateError};
 pub use patch::{CellEdit, CleanedView, DatasetPatch};
 pub use series::{Record, TimeSeries};
 pub use topology::Topology;

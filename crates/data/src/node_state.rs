@@ -1,0 +1,428 @@
+//! Per-node streaming window state: a bounded ring buffer of arrivals.
+//!
+//! The §3.3 online pipeline never sees a materialized stream — rows arrive
+//! one at a time and only the last `capacity` of them are retained per
+//! node. [`NodeState`] is that retention policy as a data structure: a
+//! fixed-capacity, attribute-major ring buffer over one sector's arrivals,
+//! able to [`NodeState::materialize`] any still-retained `[start, end)`
+//! range as an owned [`TimeSeries`] bit-identical to
+//! [`TimeSeries::slice`] on the full stream.
+//!
+//! Both execution paths share this type: the batch
+//! `WindowedExperiment` replays each series through a `NodeState` to build
+//! its per-window segments, and the `sd-serve` shards keep one live
+//! `NodeState` per owned node, so windowed calibration reads the same
+//! bytes whether the stream was replayed or served.
+//!
+//! # Retention contract
+//!
+//! A window calibration at `[start, start + w)` needs history back to
+//! `start - w` (the screen's history depth equals the window length), so a
+//! ring capacity of `2 w` rows per node is sufficient for any window/stride
+//! geometry: the span between the oldest row still needed and the newest
+//! row pushed never exceeds `2 w` as long as completed windows are
+//! materialized promptly and [`NodeState::evict_below`] is advanced to the
+//! next window's history base afterwards. Requesting rows older than the
+//! ring surfaces a structured [`StateError::Evicted`] — bounded memory is
+//! the contract, not a best effort.
+
+use crate::{NodeId, TimeSeries, MISSING};
+use std::fmt;
+
+/// One KPI row in flight: a sector's `v`-tuple at time `t`.
+///
+/// This is the unit of ingestion for the streaming service: `sd-netsim`
+/// emits these from a synthetic network and `sd-serve` routes them to
+/// shards. Rows must arrive in time order *per node* (`t` strictly
+/// increasing by 1); arbitrary interleaving across nodes is fine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalRow {
+    /// The sector that reported the row.
+    pub node: NodeId,
+    /// Absolute time step of the row within the node's stream.
+    pub t: usize,
+    /// Attribute values (NaN marks missing cells), in attribute order.
+    pub values: Vec<f64>,
+}
+
+/// Why a [`NodeState`] operation could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// A materialization asked for rows older than the ring retains.
+    Evicted {
+        /// First time step the request needed.
+        requested: usize,
+        /// Oldest time step still in the ring.
+        first_retained: usize,
+    },
+    /// A row arrived out of order for this node.
+    OutOfOrder {
+        /// Time step the ring expected next.
+        expected: usize,
+        /// Time step the row carried.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Evicted {
+                requested,
+                first_retained,
+            } => write!(
+                f,
+                "rows from t={requested} were evicted (ring retains t>={first_retained})"
+            ),
+            StateError::OutOfOrder { expected, got } => write!(
+                f,
+                "row arrived out of order: expected t={expected}, got t={got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A fixed-capacity ring buffer over one node's stream of KPI rows.
+///
+/// Storage is row-slot ring order internally and attribute-major on
+/// [`NodeState::materialize`], matching [`TimeSeries`]. Capacity counts
+/// time steps, not cells.
+///
+/// ```
+/// use sd_data::{NodeId, NodeState};
+///
+/// let mut state = NodeState::new(NodeId::new(0, 0, 0), 2, 4);
+/// for t in 0..6 {
+///     state.push(&[t as f64, 10.0 + t as f64]).unwrap();
+/// }
+/// assert_eq!(state.first_retained(), 2); // rows 0 and 1 were evicted
+/// let segment = state.materialize(3, 6).unwrap();
+/// assert_eq!(segment.len(), 3);
+/// assert_eq!(segment.get(0, 0), 3.0); // local t=0 is absolute t=3
+/// assert!(state.materialize(1, 4).is_err()); // t=1 is gone
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    node: NodeId,
+    num_attributes: usize,
+    capacity: usize,
+    /// Absolute time of the oldest retained row.
+    first_retained: usize,
+    /// Absolute time the next arrival must carry.
+    next_t: usize,
+    /// Highest occupancy ever reached (for bounded-memory audits).
+    high_water: usize,
+    /// `capacity` row slots of `num_attributes` cells; row `t` lives in
+    /// slot `t % capacity`.
+    ring: Vec<f64>,
+}
+
+impl NodeState {
+    /// Creates an empty ring for `node` whose stream starts at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// If `num_attributes` or `capacity` is zero.
+    pub fn new(node: NodeId, num_attributes: usize, capacity: usize) -> Self {
+        Self::starting_at(node, num_attributes, capacity, 0)
+    }
+
+    /// Creates an empty ring whose first arrival will carry `t = start`.
+    ///
+    /// The batch path uses this to replay only the suffix of a series that
+    /// a window calibration can actually reach, without pretending the
+    /// earlier rows were retained.
+    ///
+    /// # Panics
+    ///
+    /// If `num_attributes` or `capacity` is zero.
+    pub fn starting_at(node: NodeId, num_attributes: usize, capacity: usize, start: usize) -> Self {
+        assert!(
+            num_attributes > 0,
+            "node state needs at least one attribute"
+        );
+        assert!(capacity > 0, "node state needs a positive ring capacity");
+        NodeState {
+            node,
+            num_attributes,
+            capacity,
+            first_retained: start,
+            next_t: start,
+            high_water: 0,
+            ring: vec![MISSING; capacity * num_attributes],
+        }
+    }
+
+    /// Replays `series[from..to]` (clipped to the series length) through a
+    /// fresh ring, as if those rows had streamed in.
+    pub fn from_series(series: &TimeSeries, capacity: usize, from: usize, to: usize) -> Self {
+        let v = series.num_attributes();
+        let from = from.min(series.len());
+        let to = to.clamp(from, series.len());
+        let mut state = Self::starting_at(series.node(), v, capacity, from);
+        let mut row = vec![MISSING; v];
+        for t in from..to {
+            for (a, cell) in row.iter_mut().enumerate() {
+                *cell = series.get(a, t);
+            }
+            // In-order by construction; an error here would be a bug in
+            // this loop, not in the caller's data.
+            let _ = state.push(&row);
+        }
+        state
+    }
+
+    /// The sector this ring buffers.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of attributes per row.
+    pub fn num_attributes(&self) -> usize {
+        self.num_attributes
+    }
+
+    /// Ring capacity in time steps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Absolute time of the oldest retained row.
+    pub fn first_retained(&self) -> usize {
+        self.first_retained
+    }
+
+    /// Absolute time the next arrival must carry (also: one past the
+    /// newest retained row).
+    pub fn next_t(&self) -> usize {
+        self.next_t
+    }
+
+    /// Number of rows currently retained.
+    pub fn occupancy(&self) -> usize {
+        self.next_t - self.first_retained
+    }
+
+    /// Highest occupancy the ring ever reached. Never exceeds
+    /// [`NodeState::capacity`] — the bounded-memory audit hook.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Whether no rows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Accepts the node's next row. When the ring is full the oldest row
+    /// is evicted first, so occupancy never exceeds capacity.
+    ///
+    /// Returns [`StateError::OutOfOrder`] if `t` is supplied out of
+    /// sequence (see [`NodeState::push_at`]); this arity-checked entry
+    /// point never reorders.
+    ///
+    /// # Panics
+    ///
+    /// If `values.len()` disagrees with the ring's attribute count — a
+    /// malformed row violates the ingestion contract.
+    pub fn push(&mut self, values: &[f64]) -> Result<(), StateError> {
+        assert_eq!(
+            values.len(),
+            self.num_attributes,
+            "row arity disagrees with the node's schema"
+        );
+        if self.occupancy() == self.capacity {
+            self.first_retained += 1;
+        }
+        let slot = (self.next_t % self.capacity) * self.num_attributes;
+        self.ring[slot..slot + self.num_attributes].copy_from_slice(values);
+        self.next_t += 1;
+        self.high_water = self.high_water.max(self.occupancy());
+        Ok(())
+    }
+
+    /// Accepts a row carrying an explicit time stamp, enforcing per-node
+    /// time order: `t` must equal [`NodeState::next_t`].
+    pub fn push_at(&mut self, t: usize, values: &[f64]) -> Result<(), StateError> {
+        if t != self.next_t {
+            return Err(StateError::OutOfOrder {
+                expected: self.next_t,
+                got: t,
+            });
+        }
+        self.push(values)
+    }
+
+    /// Drops retained rows older than `t` (clipped to the retained range).
+    /// The streaming shards call this after materializing a window, with
+    /// `t` at the next window's history base.
+    pub fn evict_below(&mut self, t: usize) {
+        self.first_retained = self.first_retained.max(t.min(self.next_t));
+    }
+
+    /// Materializes retained rows `[start, end)` as an owned
+    /// [`TimeSeries`], with `start` mapped to local time 0.
+    ///
+    /// The range is clipped to `[start, next_t)` exactly as
+    /// [`TimeSeries::slice`] clips to the series length, so replaying a
+    /// series through a sufficiently large ring and materializing yields a
+    /// bit-identical segment. Asking for rows older than the ring retains
+    /// is a [`StateError::Evicted`] — never silently truncated.
+    pub fn materialize(&self, start: usize, end: usize) -> Result<TimeSeries, StateError> {
+        let start_c = start.min(self.next_t);
+        let end_c = end.clamp(start_c, self.next_t);
+        if start_c < self.first_retained && start_c < end_c {
+            return Err(StateError::Evicted {
+                requested: start_c,
+                first_retained: self.first_retained,
+            });
+        }
+        let len = end_c - start_c;
+        let mut columns = vec![Vec::with_capacity(len); self.num_attributes];
+        for t in start_c..end_c {
+            let slot = (t % self.capacity) * self.num_attributes;
+            for (a, column) in columns.iter_mut().enumerate() {
+                column.push(self.ring[slot + a]);
+            }
+        }
+        Ok(TimeSeries::from_columns(self.node, columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn node() -> NodeId {
+        NodeId::new(1, 2, 3)
+    }
+
+    fn series(len: usize) -> TimeSeries {
+        let mut columns: Vec<Vec<f64>> = std::iter::repeat_with(|| Vec::with_capacity(len))
+            .take(2)
+            .collect();
+        for t in 0..len {
+            columns[0].push(t as f64);
+            columns[1].push(if t % 5 == 0 {
+                f64::NAN
+            } else {
+                100.0 + t as f64
+            });
+        }
+        TimeSeries::from_columns(node(), columns)
+    }
+
+    #[test]
+    fn materialize_matches_slice_bit_for_bit() {
+        let s = series(37);
+        for (start, end) in [(0, 10), (5, 20), (30, 37), (35, 50), (40, 45), (7, 7)] {
+            let state = NodeState::from_series(&s, 64, 0, s.len());
+            let segment = state.materialize(start, end).unwrap();
+            assert!(
+                segment.same_data(&s.slice(start, end)),
+                "[{start}, {end}) diverged from slice"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_errors_on_evicted_reads() {
+        let s = series(20);
+        let state = NodeState::from_series(&s, 8, 0, s.len());
+        assert_eq!(state.first_retained(), 12);
+        assert_eq!(state.occupancy(), 8);
+        let tail = state.materialize(12, 20).unwrap();
+        assert!(tail.same_data(&s.slice(12, 20)));
+        let err = state.materialize(11, 20).unwrap_err();
+        assert_eq!(
+            err,
+            StateError::Evicted {
+                requested: 11,
+                first_retained: 12
+            }
+        );
+        // A fully out-of-range (hence empty) request is fine.
+        assert_eq!(state.materialize(3, 3).unwrap().len(), 0);
+        assert_eq!(state.materialize(25, 30).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_capacity() {
+        let mut state = NodeState::new(node(), 2, 4);
+        for t in 0..100 {
+            state.push(&[t as f64, -(t as f64)]).unwrap();
+            assert!(state.occupancy() <= 4);
+        }
+        assert_eq!(state.high_water(), 4);
+        assert_eq!(state.first_retained(), 96);
+    }
+
+    #[test]
+    fn push_at_enforces_per_node_order() {
+        let mut state = NodeState::new(node(), 1, 4);
+        state.push_at(0, &[1.0]).unwrap();
+        state.push_at(1, &[2.0]).unwrap();
+        let err = state.push_at(3, &[4.0]).unwrap_err();
+        assert_eq!(
+            err,
+            StateError::OutOfOrder {
+                expected: 2,
+                got: 3
+            }
+        );
+        let err = state.push_at(1, &[2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            StateError::OutOfOrder {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn evict_below_advances_retention() {
+        let mut state = NodeState::new(node(), 1, 8);
+        for t in 0..6 {
+            state.push(&[t as f64]).unwrap();
+        }
+        state.evict_below(4);
+        assert_eq!(state.first_retained(), 4);
+        assert!(state.materialize(3, 6).is_err());
+        assert_eq!(state.materialize(4, 6).unwrap().len(), 2);
+        // Clipped to next_t: eviction can never outrun the stream.
+        state.evict_below(50);
+        assert_eq!(state.first_retained(), 6);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn starting_at_replays_a_suffix() {
+        let s = series(30);
+        let state = NodeState::from_series(&s, 64, 10, 25);
+        assert_eq!(state.first_retained(), 10);
+        assert_eq!(state.next_t(), 25);
+        let segment = state.materialize(10, 25).unwrap();
+        assert!(segment.same_data(&s.slice(10, 25)));
+    }
+
+    #[test]
+    fn missing_cells_round_trip_through_the_ring() {
+        let s = series(15); // every 5th value of attribute 1 is NaN
+        let state = NodeState::from_series(&s, 32, 0, s.len());
+        let segment = state.materialize(0, 15).unwrap();
+        assert!(segment.is_missing(1, 0));
+        assert!(segment.is_missing(1, 5));
+        assert!(!segment.is_missing(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn malformed_rows_violate_the_contract() {
+        let mut state = NodeState::new(node(), 3, 4);
+        let _ = state.push(&[1.0, 2.0]);
+    }
+}

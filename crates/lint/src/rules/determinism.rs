@@ -6,7 +6,7 @@
 //! dynamic bit-identity suites catch such leaks *sometimes*; these rules
 //! refuse the constructs outright.
 
-use super::{RuleInput, APPROVED_PARALLEL_FILE, BENCH_CRATE};
+use super::{RuleInput, APPROVED_PARALLEL_FILES, BENCH_CRATE};
 use crate::diagnostics::{Diagnostic, RuleId};
 use crate::lexer::{Token, TokenKind};
 
@@ -61,7 +61,10 @@ pub(super) fn check(input: RuleInput<'_>, diags: &mut Vec<Diagnostic>) {
                     .into(),
             ));
         }
-        if name == "spawn" && input.file != APPROVED_PARALLEL_FILE && is_call_position(tokens, i) {
+        if name == "spawn"
+            && !APPROVED_PARALLEL_FILES.contains(&input.file)
+            && is_call_position(tokens, i)
+        {
             diags.push(diag(
                 RuleId::D004,
                 input,

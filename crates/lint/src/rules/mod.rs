@@ -9,7 +9,7 @@
 //! | D001 | every crate except `sd-bench` (result-producing code, tests included — order-dependent iteration makes tests flaky too) |
 //! | D002 | every crate except `sd-bench` |
 //! | D003 | every crate except `sd-bench` (the perf harness is *supposed* to read the clock) |
-//! | D004 | every file except `crates/core/src/runner.rs`, the approved `parallel_map` implementation |
+//! | D004 | every file except the approved spawn sites: `crates/core/src/runner.rs` (`parallel_map`) and `crates/serve/src/shard.rs` (the serving layer's shard/collector threads) |
 //! | P001 | non-test code in every crate (ratcheted per crate via `lint-baseline.json`) |
 //! | U001 | every crate (cross-checks the `#![forbid(unsafe_code)]` attributes) |
 
@@ -39,10 +39,14 @@ pub struct RuleInput<'a> {
 /// consumes its iteration order).
 pub const BENCH_CRATE: &str = "sd-bench";
 
-/// The one file allowed to touch thread-spawn primitives: the
-/// `parallel_map` preallocated-slot implementation every parallel path
-/// must route through.
-pub const APPROVED_PARALLEL_FILE: &str = "crates/core/src/runner.rs";
+/// The files allowed to touch thread-spawn primitives: the
+/// `parallel_map` preallocated-slot implementation every parallel
+/// compute path must route through, and the serving layer's shard
+/// module, whose workers never fold floats across threads — every
+/// cross-thread value travels a channel and is assembled in series
+/// order by a single collector.
+pub const APPROVED_PARALLEL_FILES: [&str; 2] =
+    ["crates/core/src/runner.rs", "crates/serve/src/shard.rs"];
 
 /// Runs every rule over one file; returns raw findings (allow-directive
 /// suppression happens in [`crate::engine`]).

@@ -134,3 +134,46 @@ fn bench_scope_drops_determinism_rules_but_not_panic_hygiene() {
     let lint = lint_source("crates/bench/src/lib.rs", "sd-bench", p001);
     assert_eq!(lint.diagnostics.len(), 2, "P001 still applies in sd-bench");
 }
+
+#[test]
+fn d004_approves_the_serve_shard_module() {
+    // The exact spawn idiom the serving layer uses — Builder named thread
+    // plus the P001 allow on the expect — is clean *in the approved file*.
+    let lint = lint_source(
+        "crates/serve/src/shard.rs",
+        "sd-serve",
+        include_str!("fixtures/serve_spawn_pass.rs"),
+    );
+    assert_eq!(lint.diagnostics, vec![]);
+    assert_eq!(lint.suppressed.len(), 1, "the P001 allow stays visible");
+    assert_eq!(lint.suppressed[0].rule, RuleId::P001);
+}
+
+#[test]
+fn d004_fires_on_spawn_elsewhere_in_the_serve_crate() {
+    // The same crate gets no blanket pass: a raw spawn in any other
+    // sd-serve module is a finding at the exact spawn token.
+    let lint = lint_source(
+        "crates/serve/src/service.rs",
+        "sd-serve",
+        include_str!("fixtures/serve_spawn_fail.rs"),
+    );
+    let got: Vec<_> = lint
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect();
+    assert_eq!(got, vec![(RuleId::D004, 4, 13)]);
+}
+
+#[test]
+fn d004_still_approves_the_runner_file() {
+    // Extending the approved list must not un-approve the original
+    // parallel_map site.
+    let lint = lint_source(
+        "crates/core/src/runner.rs",
+        "sd-core",
+        include_str!("fixtures/serve_spawn_fail.rs"),
+    );
+    assert_eq!(lint.diagnostics, vec![]);
+}

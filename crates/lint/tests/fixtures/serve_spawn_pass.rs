@@ -1,0 +1,9 @@
+use std::thread::{Builder, JoinHandle};
+
+pub fn spawn_worker(body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    Builder::new()
+        .name("sd-serve-shard".into())
+        .spawn(body)
+        // sd-lint: allow(P001, OS thread exhaustion has no recovery path)
+        .expect("spawning a shard thread")
+}

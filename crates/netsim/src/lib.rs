@@ -30,11 +30,13 @@ mod config;
 mod generate;
 mod inject;
 mod kpi;
+mod stream;
 
 pub use config::{GlitchRates, KpiParams, NetsimConfig};
 pub use generate::{generate, GeneratedData};
 pub use inject::{BurstProcess, GlitchInjector};
 pub use kpi::{KpiModel, ATTR_LOAD, ATTR_RATIO, ATTR_VOLUME, NUM_ATTRIBUTES};
+pub use stream::{stream_rows, stream_rows_interleaved};
 
 #[cfg(test)]
 mod tests {

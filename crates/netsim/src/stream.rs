@@ -1,0 +1,117 @@
+//! Replays a generated dataset as a row stream for the serving layer.
+//!
+//! The streaming service consumes [`ArrivalRow`]s — one node's attribute
+//! vector at one time step — in any cross-node interleaving, as long as
+//! each node's own rows arrive in time order. These helpers produce the
+//! two interleavings the tests care about: the canonical time-major
+//! sweep (every node reports each step before any node reports the
+//! next, like a polling cycle) and a seeded pseudo-random interleaving
+//! that models skewed collection latencies while preserving per-node
+//! order.
+
+use sd_data::{ArrivalRow, Dataset};
+
+/// All rows of `data` in time-major order: step 0 of every series (in
+/// series order), then step 1, and so on; series that have ended are
+/// skipped. Per-node rows are in time order, as the serving layer
+/// requires.
+pub fn stream_rows(data: &Dataset) -> Vec<ArrivalRow> {
+    let horizon = data.series().iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut rows = Vec::with_capacity(data.num_records());
+    for t in 0..horizon {
+        for series in data.series() {
+            if t < series.len() {
+                rows.push(ArrivalRow {
+                    node: series.node(),
+                    t,
+                    values: (0..series.num_attributes())
+                        .map(|a| series.get(a, t))
+                        .collect(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// All rows of `data` in a seeded pseudo-random interleaving: at every
+/// step one series with rows remaining is picked by a multiplicative
+/// congruential draw and yields its next row. Per-node rows stay in
+/// time order; the cross-node interleaving is arbitrary but a pure
+/// function of `seed` — the adversarial input of the determinism tests.
+pub fn stream_rows_interleaved(data: &Dataset, seed: u64) -> Vec<ArrivalRow> {
+    let mut next: Vec<usize> = vec![0; data.num_series()];
+    let mut live: Vec<usize> = (0..data.num_series())
+        .filter(|&i| !data.series_at(i).is_empty())
+        .collect();
+    let mut state = seed | 1;
+    let mut rows = Vec::with_capacity(data.num_records());
+    while !live.is_empty() {
+        // Lehmer/MCG step; high bits are the well-mixed ones.
+        state = state.wrapping_mul(0xda94_2042_e4dd_58b5);
+        let pick = ((state >> 33) % live.len() as u64) as usize;
+        let series = live[pick];
+        let s = data.series_at(series);
+        let t = next[series];
+        rows.push(ArrivalRow {
+            node: s.node(),
+            t,
+            values: (0..s.num_attributes()).map(|a| s.get(a, t)).collect(),
+        });
+        next[series] += 1;
+        if next[series] >= s.len() {
+            live.swap_remove(pick);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, NetsimConfig};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn time_major_covers_every_record_in_node_order() {
+        let data = generate(&NetsimConfig::small(3)).dataset;
+        let rows = stream_rows(&data);
+        assert_eq!(rows.len(), data.num_records());
+        let mut clock: BTreeMap<_, usize> = BTreeMap::new();
+        for row in &rows {
+            let t = clock.entry(row.node).or_insert(0);
+            assert_eq!(row.t, *t, "per-node rows must be in time order");
+            *t += 1;
+        }
+    }
+
+    #[test]
+    fn interleaved_is_a_permutation_preserving_node_order() {
+        let data = generate(&NetsimConfig::small(3)).dataset;
+        let rows = stream_rows_interleaved(&data, 99);
+        assert_eq!(rows.len(), data.num_records());
+        let mut clock: BTreeMap<_, usize> = BTreeMap::new();
+        for row in &rows {
+            let t = clock.entry(row.node).or_insert(0);
+            assert_eq!(row.t, *t);
+            *t += 1;
+        }
+        assert_eq!(clock.len(), data.num_series());
+        // Different seeds produce different interleavings (with 6 000
+        // rows, a collision would be astronomically unlikely).
+        let other = stream_rows_interleaved(&data, 100);
+        assert!(rows.iter().zip(&other).any(|(a, b)| a.node != b.node));
+    }
+
+    #[test]
+    fn interleavings_are_deterministic() {
+        let data = generate(&NetsimConfig::small(3)).dataset;
+        let a = stream_rows_interleaved(&data, 7);
+        let b = stream_rows_interleaved(&data, 7);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.node == y.node && x.t == y.t));
+    }
+}

@@ -1,0 +1,358 @@
+//! Window assembly and evaluation: the single consumer of shard output.
+//!
+//! The collector receives per-node window segments from every shard over
+//! one bounded channel, assembles them into service-wide segment vectors
+//! (series order, independent of shard count and scheduling), and runs the
+//! shared windowed pipeline — [`sd_core::calibrate_window`] followed by
+//! [`sd_core::evaluate_window_artifacts`] on the engine's group-slot
+//! machinery — the moment a window is complete. Windows are evaluated
+//! strictly in stream order, which per-shard FIFO delivery makes safe:
+//! a window can only be complete once every earlier window is.
+
+use crate::ServeConfig;
+use parking_lot::Mutex;
+use sd_cleaning::CompositeStrategy;
+use sd_core::{
+    calibrate_window, evaluate_window_artifacts, FrameworkError, ThreadPoolExecutor, WindowOutcome,
+    WindowScreen,
+};
+use sd_data::{NodeId, TimeSeries};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// What shards send the collector.
+pub(crate) enum CollectorMsg {
+    /// One node's retained `[base, end)` segment for one window.
+    Segment {
+        /// Window index.
+        window: usize,
+        /// Series index of the node in service order.
+        series: usize,
+        /// Whether the segment covers the window's full `[start, end)`
+        /// span. At least one sealed segment is the collector's proof
+        /// that the stream's horizon admits this window at all.
+        sealed: bool,
+        /// The materialized rows.
+        segment: TimeSeries,
+    },
+    /// A shard finished flushing after `Close`.
+    ShardDone {
+        /// Which shard.
+        shard: usize,
+        /// Rows the shard ingested.
+        rows: u64,
+        /// Highest ring occupancy the shard ever saw.
+        high_water: usize,
+        /// `(series, final stream length)` of every owned node.
+        final_lens: Vec<(usize, usize)>,
+    },
+    /// A shard hit a structured error and stopped.
+    ShardError {
+        /// Which shard.
+        shard: usize,
+        /// The error it observed.
+        error: FrameworkError,
+    },
+}
+
+/// One completed window, published to the service as soon as it is
+/// evaluated — the live view of the stream's trajectory.
+#[derive(Debug, Clone)]
+pub struct WindowUpdate {
+    /// Window index, in stream order.
+    pub window_index: usize,
+    /// What the calibration screen did per series.
+    pub screen: WindowScreen,
+    /// One outcome per strategy, in strategy order.
+    pub outcomes: Vec<WindowOutcome>,
+}
+
+/// Everything the collector accumulated by end of stream.
+pub(crate) struct CollectorOutput {
+    pub outcomes: Vec<WindowOutcome>,
+    pub screens: Vec<WindowScreen>,
+    pub rows: u64,
+    pub high_water: usize,
+}
+
+/// One window's partially assembled segments.
+struct Assembly {
+    slots: Vec<Option<TimeSeries>>,
+    filled: usize,
+    sealed: bool,
+}
+
+impl Assembly {
+    fn new(num_series: usize) -> Self {
+        Assembly {
+            slots: (0..num_series).map(|_| None).collect(),
+            filled: 0,
+            sealed: false,
+        }
+    }
+}
+
+/// The collector thread body.
+pub(crate) struct Collector {
+    config: ServeConfig,
+    nodes: Vec<NodeId>,
+    neighbors: Vec<Vec<(usize, f64)>>,
+    strategies: Vec<CompositeStrategy>,
+    executor: ThreadPoolExecutor,
+    updates: Sender<WindowUpdate>,
+    pending: BTreeMap<usize, Assembly>,
+    next_eval: usize,
+    outcomes: Vec<WindowOutcome>,
+    screens: Vec<WindowScreen>,
+}
+
+impl Collector {
+    pub(crate) fn new(
+        config: ServeConfig,
+        nodes: Vec<NodeId>,
+        neighbors: Vec<Vec<(usize, f64)>>,
+        strategies: Vec<CompositeStrategy>,
+        updates: Sender<WindowUpdate>,
+    ) -> Self {
+        let executor = ThreadPoolExecutor::new(config.windowed.threads);
+        Collector {
+            config,
+            nodes,
+            neighbors,
+            strategies,
+            executor,
+            updates,
+            pending: BTreeMap::new(),
+            next_eval: 0,
+            outcomes: Vec::new(),
+            screens: Vec::new(),
+        }
+    }
+
+    /// Drains shard messages until every shard reports done, evaluating
+    /// windows eagerly and in order; then settles clipped/ragged tail
+    /// windows from the reported stream lengths.
+    pub(crate) fn run(
+        mut self,
+        inbox: &Receiver<CollectorMsg>,
+    ) -> Result<CollectorOutput, FrameworkError> {
+        let num_series = self.nodes.len();
+        let shards = self.config.shards;
+        let mut done = 0usize;
+        let mut closed = vec![false; shards];
+        let mut rows = 0u64;
+        let mut high_water = 0usize;
+        let mut final_lens: Vec<Option<usize>> = vec![None; num_series];
+        while done < shards {
+            let Ok(msg) = inbox.recv() else {
+                return Err(FrameworkError::Internal(
+                    "a shard terminated before reporting its close".into(),
+                ));
+            };
+            match msg {
+                CollectorMsg::Segment {
+                    window,
+                    series,
+                    sealed,
+                    segment,
+                } => {
+                    self.accept(window, series, sealed, segment)?;
+                    self.evaluate_ready()?;
+                }
+                CollectorMsg::ShardDone {
+                    shard,
+                    rows: shard_rows,
+                    high_water: shard_high,
+                    final_lens: lens,
+                } => {
+                    if closed[shard] {
+                        return Err(FrameworkError::Internal(format!(
+                            "shard {shard} reported its close twice"
+                        )));
+                    }
+                    closed[shard] = true;
+                    done += 1;
+                    rows += shard_rows;
+                    high_water = high_water.max(shard_high);
+                    for (series, len) in lens {
+                        final_lens[series] = Some(len);
+                    }
+                }
+                CollectorMsg::ShardError { shard, error } => {
+                    return Err(FrameworkError::ShardFailed {
+                        shard,
+                        detail: error.to_string(),
+                    })
+                }
+            }
+        }
+        self.settle_tail(&final_lens)?;
+        Ok(CollectorOutput {
+            outcomes: self.outcomes,
+            screens: self.screens,
+            rows,
+            high_water,
+        })
+    }
+
+    fn accept(
+        &mut self,
+        window: usize,
+        series: usize,
+        sealed: bool,
+        segment: TimeSeries,
+    ) -> Result<(), FrameworkError> {
+        if window < self.next_eval {
+            return Err(FrameworkError::Internal(format!(
+                "segment for already-evaluated window {window} (series {series})"
+            )));
+        }
+        let num_series = self.nodes.len();
+        let assembly = self
+            .pending
+            .entry(window)
+            .or_insert_with(|| Assembly::new(num_series));
+        if assembly.slots[series].is_some() {
+            return Err(FrameworkError::Internal(format!(
+                "duplicate segment for window {window}, series {series}"
+            )));
+        }
+        assembly.slots[series] = Some(segment);
+        assembly.filled += 1;
+        assembly.sealed |= sealed;
+        Ok(())
+    }
+
+    /// Evaluates consecutive complete windows starting at `next_eval`.
+    /// Per-shard FIFO delivery guarantees window `w` cannot be complete
+    /// while `w - 1` is not, so this never leaves a gap.
+    fn evaluate_ready(&mut self) -> Result<(), FrameworkError> {
+        while let Some(assembly) = self.pending.get(&self.next_eval) {
+            if assembly.filled < self.nodes.len() || !assembly.sealed {
+                break;
+            }
+            let w = self.next_eval;
+            if let Some(assembly) = self.pending.remove(&w) {
+                self.evaluate(w, assembly.slots)?;
+            }
+            self.next_eval += 1;
+        }
+        Ok(())
+    }
+
+    /// After every shard closed: fill in empty segments for series whose
+    /// stream ended before a window, evaluate the remaining real windows,
+    /// and drop speculative tails beyond the stream's horizon (their
+    /// windows do not exist in the batch replay either).
+    fn settle_tail(&mut self, final_lens: &[Option<usize>]) -> Result<(), FrameworkError> {
+        let mut lens = Vec::with_capacity(final_lens.len());
+        for (series, len) in final_lens.iter().enumerate() {
+            match len {
+                Some(len) => lens.push(*len),
+                None => {
+                    return Err(FrameworkError::Internal(format!(
+                        "no shard reported series {series} at close"
+                    )))
+                }
+            }
+        }
+        let horizon = lens.iter().copied().max().unwrap_or(0);
+        let (window, stride) = (self.config.windowed.window, self.config.windowed.stride);
+        let num_windows = if horizon < window {
+            0
+        } else {
+            (horizon - window) / stride + 1
+        };
+        for w in self.next_eval..num_windows {
+            let mut assembly = self
+                .pending
+                .remove(&w)
+                .unwrap_or_else(|| Assembly::new(self.nodes.len()));
+            for (series, slot) in assembly.slots.iter_mut().enumerate() {
+                if slot.is_none() {
+                    if lens[series] > w * stride {
+                        return Err(FrameworkError::Internal(format!(
+                            "series {series} never delivered its segment for window {w}"
+                        )));
+                    }
+                    // The series ended before this window started: its
+                    // window slice is empty in the batch replay too.
+                    *slot = Some(TimeSeries::new(
+                        self.nodes[series],
+                        self.config.attributes.len(),
+                        0,
+                    ));
+                }
+            }
+            self.evaluate(w, assembly.slots)?;
+        }
+        self.next_eval = num_windows;
+        // Anything still pending reaches past the horizon: those windows
+        // do not exist (`num_windows` excludes them) — discard.
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn evaluate(&mut self, w: usize, slots: Vec<Option<TimeSeries>>) -> Result<(), FrameworkError> {
+        let mut segments = Vec::with_capacity(slots.len());
+        for (series, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(segment) => segments.push(segment),
+                None => {
+                    return Err(FrameworkError::Internal(format!(
+                        "window {w} evaluated with a hole at series {series}"
+                    )))
+                }
+            }
+        }
+        let (artifacts, screen) = calibrate_window(
+            &self.config.windowed,
+            &self.config.attributes,
+            w,
+            &segments,
+            &self.neighbors,
+        )?;
+        let outcomes = evaluate_window_artifacts(
+            &self.config.windowed,
+            &self.strategies,
+            &self.executor,
+            artifacts,
+        )?;
+        // Live subscribers are optional; a dropped update receiver must
+        // not fail the stream.
+        let _ = self.updates.send(WindowUpdate {
+            window_index: w,
+            screen: screen.clone(),
+            outcomes: outcomes.clone(),
+        });
+        self.screens.push(screen);
+        self.outcomes.extend(outcomes);
+        Ok(())
+    }
+}
+
+/// A handle pairing the live update receiver with interior mutability so
+/// the service can expose `try_next_window(&self)` without exclusive
+/// borrows.
+pub(crate) struct UpdateFeed {
+    receiver: Mutex<Receiver<WindowUpdate>>,
+}
+
+impl UpdateFeed {
+    pub(crate) fn new(receiver: Receiver<WindowUpdate>) -> Self {
+        UpdateFeed {
+            receiver: Mutex::new(receiver),
+        }
+    }
+
+    /// Non-blocking: the next completed window, if one is queued.
+    pub(crate) fn try_next(&self) -> Option<WindowUpdate> {
+        self.receiver.lock().try_recv().ok()
+    }
+
+    /// Blocking: waits for the next completed window; `None` once the
+    /// collector has hung up (end of stream or failure).
+    pub(crate) fn next(&self) -> Option<WindowUpdate> {
+        self.receiver.lock().recv().ok()
+    }
+}

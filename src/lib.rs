@@ -26,6 +26,7 @@
 //! | [`netsim`] | `sd-netsim` | synthetic telemetry generator |
 //! | [`cleaning`] | `sd-cleaning` | winsorize / mean-impute / MVN-impute strategies |
 //! | [`sampling`] | `sd-sampling` | replication, bottom-k, priority, reservoir |
+//! | [`serve`] | `sd-serve` | sharded streaming service for the §3.3 online pipeline |
 //! | [`linalg`] | `sd-linalg` | small dense linear algebra |
 //!
 //! ## Quickstart
@@ -58,6 +59,7 @@ pub use sd_glitch as glitch;
 pub use sd_linalg as linalg;
 pub use sd_netsim as netsim;
 pub use sd_sampling as sampling;
+pub use sd_serve as serve;
 pub use sd_stats as stats;
 
 /// The most common imports, bundled.
@@ -80,8 +82,9 @@ pub mod prelude {
         Constraint, ConstraintSet, GlitchDetector, GlitchIndex, GlitchReport, GlitchType,
         GlitchWeights, OutlierDetector,
     };
-    pub use sd_netsim::{generate, GlitchRates, NetsimConfig};
+    pub use sd_netsim::{generate, stream_rows, GlitchRates, NetsimConfig};
     pub use sd_sampling::ReplicationSampler;
+    pub use sd_serve::{ServeConfig, StreamReport, StreamingService, WindowUpdate};
     pub use sd_stats::{AttributeTransform, Summary};
 }
 

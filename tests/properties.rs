@@ -506,3 +506,60 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Streaming determinism: whatever the arrival interleaving, shard
+    /// count, and channel capacity, the service's trajectory is
+    /// bit-identical to the batch replay of the same rows. The arrival
+    /// order is the adversarial input — shard threads race on the wall
+    /// clock, but the outcome may not.
+    #[test]
+    fn streaming_trajectories_survive_arrival_order_and_sharding(
+        interleave_seed in 0u64..100_000,
+        shard_choice in 0usize..4,
+        capacity in 1usize..64,
+    ) {
+        use statistical_distortion::core::{WindowedConfig, WindowedExperiment, WindowedResult};
+        use statistical_distortion::netsim::stream_rows_interleaved;
+        use statistical_distortion::prelude::*;
+        use std::sync::OnceLock;
+
+        static REFERENCE: OnceLock<(Dataset, WindowedResult)> = OnceLock::new();
+        let (data, batch) = REFERENCE.get_or_init(|| {
+            let data = generate(&NetsimConfig::small(13)).dataset;
+            let config = WindowedConfig::paper_default(20, 15, 13);
+            let batch = WindowedExperiment::new(config)
+                .run(&data, &[paper_strategy(5)])
+                .expect("reference batch run");
+            (data, batch)
+        });
+
+        let shards = [1, 2, 4, 8][shard_choice];
+        let config = WindowedConfig::paper_default(20, 15, 13);
+        let attributes = data.attributes().iter().map(|a| a.name.clone()).collect();
+        let serve = ServeConfig::new(config, attributes)
+            .with_shards(shards)
+            .with_channel_capacity(capacity);
+        let nodes = data.series().iter().map(|s| s.node()).collect();
+        let service = StreamingService::launch(serve, nodes, vec![paper_strategy(5)])
+            .expect("launch");
+        for row in stream_rows_interleaved(data, interleave_seed) {
+            service.ingest(row).expect("ingest");
+        }
+        let report = service.finish().expect("finish");
+
+        prop_assert_eq!(batch.screens(), report.screens());
+        prop_assert_eq!(batch.outcomes().len(), report.outcomes().len());
+        for (x, y) in batch.outcomes().iter().zip(report.outcomes()) {
+            prop_assert_eq!(x.window_index, y.window_index);
+            prop_assert_eq!(x.improvement.to_bits(), y.improvement.to_bits(),
+                "improvement, window {}", x.window_index);
+            prop_assert_eq!(x.distortion.to_bits(), y.distortion.to_bits(),
+                "distortion, window {}", x.window_index);
+            prop_assert_eq!(&x.cleaning, &y.cleaning);
+        }
+        prop_assert!(report.stats().ring_high_water <= report.stats().ring_capacity);
+    }
+}
