@@ -11,6 +11,8 @@
 //! | `SD_SEED`          | base RNG seed                            | `42`      |
 //! | `SD_THREADS`       | worker threads (0 = auto)                | `0`       |
 //! | `SD_SHARDS`        | streaming-service ingestion shards       | `4`       |
+//! | `SD_NODES`         | streaming node-count override (0 = scale default) | `0` |
+//! | `SD_EVALUATORS`    | streaming evaluator-pool size            | `4`       |
 //! | `SD_OUT`           | directory for JSON artifacts (optional)  | unset     |
 //!
 //! Binaries print human-readable rows (the same rows/series the paper
@@ -18,7 +20,7 @@
 //! JSON next to them so `EXPERIMENTS.md` numbers are regenerable.
 
 #![forbid(unsafe_code)]
-use sd_data::Dataset;
+use sd_data::{Dataset, Topology};
 use sd_netsim::{generate, NetsimConfig};
 use std::path::PathBuf;
 
@@ -66,6 +68,13 @@ pub struct HarnessConfig {
     pub threads: usize,
     /// Ingestion shards for the streaming-service rows.
     pub shards: usize,
+    /// Streaming node-count override: when nonzero, streaming rows are
+    /// drawn from a topology resized to approximately this many sectors
+    /// (see [`HarnessConfig::streaming_netsim_config`]) instead of the
+    /// scale's default — the 10⁴–10⁵-node serving regime.
+    pub nodes: usize,
+    /// Evaluator-pool size for the pipelined streaming rows.
+    pub evaluators: usize,
     /// Optional JSON artifact directory.
     pub out_dir: Option<PathBuf>,
 }
@@ -94,6 +103,8 @@ impl HarnessConfig {
             seed,
             threads: parse_usize("SD_THREADS", 0),
             shards: parse_usize("SD_SHARDS", 4),
+            nodes: parse_usize("SD_NODES", 0),
+            evaluators: parse_usize("SD_EVALUATORS", 4),
             out_dir: std::env::var("SD_OUT").ok().map(PathBuf::from),
         }
     }
@@ -111,6 +122,25 @@ impl HarnessConfig {
             self.replications,
         );
         generate(&config).dataset
+    }
+
+    /// The netsim configuration the streaming rows are drawn from: the
+    /// scale's default, unless `SD_NODES` asks for a specific serving
+    /// fleet size. An override resizes the topology to at least `nodes`
+    /// sectors (5 sectors per tower, up to 50 towers per RNC — the
+    /// serving-regime shape) and bounds the horizon at 60 steps so
+    /// 10⁴–10⁵-node runs scale in nodes, not in rows per node.
+    pub fn streaming_netsim_config(&self) -> NetsimConfig {
+        let mut config = self.scale.netsim_config(self.seed);
+        if self.nodes > 0 {
+            let sectors_per_tower = 5u32;
+            let towers = self.nodes.div_ceil(sectors_per_tower as usize).max(1) as u32;
+            let rncs = towers.div_ceil(50).max(1);
+            let towers_per_rnc = towers.div_ceil(rncs);
+            config.topology = Topology::new(rncs, towers_per_rnc, sectors_per_tower);
+            config.series_len = config.series_len.min(60);
+        }
+        config
     }
 
     /// Writes a JSON artifact when `SD_OUT` is configured.
@@ -240,5 +270,32 @@ mod tests {
     fn scale_labels() {
         assert_eq!(Scale::Small.label(), "small");
         assert_eq!(Scale::Paper.netsim_config(1).num_series(), 20_000);
+    }
+
+    #[test]
+    fn node_override_resizes_streaming_topology() {
+        let mut harness = HarnessConfig {
+            scale: Scale::Harness,
+            replications: 1,
+            seed: 7,
+            threads: 0,
+            shards: 4,
+            nodes: 0,
+            evaluators: 4,
+            out_dir: None,
+        };
+        // No override: the scale's default shape, untouched horizon.
+        let base = harness.streaming_netsim_config();
+        assert_eq!(base.num_series(), 1_000);
+        assert_eq!(base.series_len, 170);
+        // Override: at least the requested sectors, bounded horizon.
+        for nodes in [100, 10_000, 100_000] {
+            harness.nodes = nodes;
+            let sized = harness.streaming_netsim_config();
+            assert!(sized.num_series() >= nodes);
+            assert!(sized.num_series() < nodes + 300);
+            assert_eq!(sized.series_len, 60);
+            assert_eq!(sized.seed, 7);
+        }
     }
 }

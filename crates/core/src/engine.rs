@@ -60,8 +60,11 @@
 //! replays the exact cold pivot sequence, so results stay bit-identical
 //! regardless of which thread scored which unit. Warm-started transports —
 //! which trade bit-identity for a documented `1e-9` objective tolerance —
-//! are opt-in and confined to the budget optimizer's sequential planning
-//! sweep ([`crate::TransportMode::Warm`]).
+//! are opt-in ([`crate::TransportMode::Warm`]) and confined to the
+//! provably sequential chains: the budget optimizer's planning sweep and
+//! the cost sweep's per-strategy fraction ladder, each of which checks one
+//! [`sd_emd::BatchTransport`] arena out of the replication's signature
+//! cache and threads it through `score_view_with`.
 //!
 //! # Windowed mode
 //!
@@ -90,7 +93,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sd_cleaning::{CleaningStrategy, CompositeStrategy, MissingTreatment, ModelFit};
 use sd_data::CleanedView;
-use sd_emd::{PatchedCloud, SignatureCache};
+use sd_emd::{BatchTransport, PatchedCloud, SignatureCache};
 use sd_glitch::{GlitchIndex, GlitchMatrix, GlitchReport, GlitchWeights};
 use sd_stats::AttributeTransform;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -363,6 +366,32 @@ pub(crate) fn score_view(
     weights: GlitchWeights,
     view: &CleanedView<'_>,
 ) -> Result<(f64, Vec<MetricScore>, GlitchReport)> {
+    score_view_inner(shared, transforms, weights, view, None)
+}
+
+/// Like [`score_view`] but with a caller-owned [`BatchTransport`] arena
+/// threaded into every transport-solving kernel (`score_patch_with`) —
+/// the warm-chain entry point for sequential unit ladders
+/// ([`crate::TransportMode::Warm`]). Non-transport kernels are unaffected
+/// and stay bit-identical; the EMD value obeys the warm-vs-cold objective
+/// contract instead.
+pub(crate) fn score_view_with(
+    shared: &SharedReplication,
+    transforms: &[AttributeTransform],
+    weights: GlitchWeights,
+    view: &CleanedView<'_>,
+    transport: &mut BatchTransport,
+) -> Result<(f64, Vec<MetricScore>, GlitchReport)> {
+    score_view_inner(shared, transforms, weights, view, Some(transport))
+}
+
+fn score_view_inner(
+    shared: &SharedReplication,
+    transforms: &[AttributeTransform],
+    weights: GlitchWeights,
+    view: &CleanedView<'_>,
+    mut transport: Option<&mut BatchTransport>,
+) -> Result<(f64, Vec<MetricScore>, GlitchReport)> {
     let artifacts = &shared.artifacts;
     // Re-detect only touched series; untouched series keep their dirty
     // annotations (detection is a pure per-series function).
@@ -402,9 +431,13 @@ pub(crate) fn score_view(
     let patched = PatchedCloud::new(&shared.cache, row_edits);
     let mut distortions = Vec::with_capacity(shared.kernels.len());
     for kernel in &shared.kernels {
+        let value = match transport.as_deref_mut() {
+            Some(arena) => kernel.prepared.score_patch_with(&patched, arena)?,
+            None => kernel.prepared.score_patch(&patched)?,
+        };
         distortions.push(MetricScore {
             metric: kernel.name,
-            value: kernel.prepared.score_patch(&patched)?,
+            value,
         });
     }
     Ok((

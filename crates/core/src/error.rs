@@ -37,6 +37,16 @@ pub enum FrameworkError {
         /// What the service observed.
         detail: String,
     },
+    /// A streaming evaluator worker terminated abnormally — it panicked
+    /// while calibrating or scoring a window. The serving layer's reorder
+    /// stage stops publishing at the gap and `finish` surfaces this
+    /// instead of hanging on a window that will never arrive.
+    EvaluatorFailed {
+        /// Index of the evaluator worker that died.
+        evaluator: usize,
+        /// What the service observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FrameworkError {
@@ -65,6 +75,9 @@ impl fmt::Display for FrameworkError {
             }
             FrameworkError::ShardFailed { shard, detail } => {
                 write!(f, "streaming shard {shard} failed: {detail}")
+            }
+            FrameworkError::EvaluatorFailed { evaluator, detail } => {
+                write!(f, "streaming evaluator {evaluator} failed: {detail}")
             }
         }
     }
@@ -100,5 +113,11 @@ mod tests {
         }
         .to_string()
         .contains("shard 3"));
+        assert!(FrameworkError::EvaluatorFailed {
+            evaluator: 2,
+            detail: "panicked".into()
+        }
+        .to_string()
+        .contains("evaluator 2"));
     }
 }

@@ -76,8 +76,12 @@ pub const KL_EPSILON: f64 = 1e-9;
 
 /// Occupied-cell-product budget above which the EMD kernel falls back from
 /// the exact transportation simplex to Sinkhorn (which preserves the
-/// strategy ordering).
-const MAX_EXACT_CELLS: usize = 60_000;
+/// strategy ordering). Sized so instances up to roughly 380×380 occupied
+/// cells stay exact: at those shapes one simplex solve is still cheaper
+/// than a converged Sinkhorn run, and keeping high-bins sweeps on the
+/// exact path lets the warm-chain arena reuse bases across a fraction
+/// ladder (Sinkhorn has no basis to chain).
+const MAX_EXACT_CELLS: usize = 150_000;
 
 /// One metric's score of a `(replication, strategy)` unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +122,23 @@ pub trait PreparedKernel: Send + Sync {
     /// cache this state was prepared from. Bit-identical to the kernel's
     /// [`DistortionKernel::score_rows`] on `patched.materialize()`.
     fn score_patch(&self, patched: &PatchedCloud<'_>) -> Result<f64>;
+
+    /// Like [`PreparedKernel::score_patch`] but with a caller-owned
+    /// [`BatchTransport`] arena — the hand-off API for *chained units*
+    /// (the cost sweep's fraction ladder), where one arena carries a warm
+    /// basis across a sequence of closely related cleaned clouds. Kernels
+    /// that solve no transport ignore the arena and delegate to
+    /// `score_patch`; the EMD kernel routes its exact solve through
+    /// [`sd_emd::BatchTransport::solve_chained`], so its value obeys the
+    /// warm-vs-cold objective contract (`≤ 1e-9 · (1 + |cold|)`) instead
+    /// of `score_patch`'s bit-identity guarantee.
+    fn score_patch_with(
+        &self,
+        patched: &PatchedCloud<'_>,
+        _transport: &mut BatchTransport,
+    ) -> Result<f64> {
+        self.score_patch(patched)
+    }
 
     /// Convenience wrapper for callers that hold raw `(row, values)` edits
     /// instead of a built [`PatchedCloud`] — the budget optimizer's
@@ -199,17 +220,25 @@ impl PreparedKernel for EmdKernel {
             .emd)
     }
 
+    fn score_patch_with(
+        &self,
+        patched: &PatchedCloud<'_>,
+        transport: &mut BatchTransport,
+    ) -> Result<f64> {
+        Ok(self
+            .pipeline()
+            .distance_patched_with(patched, transport)
+            .map_err(distortion_err)?
+            .emd)
+    }
+
     fn score_edits_with(
         &self,
         cache: &SignatureCache,
         row_edits: Vec<(usize, Vec<f64>)>,
         transport: &mut BatchTransport,
     ) -> Result<f64> {
-        Ok(self
-            .pipeline()
-            .distance_patched_with(&PatchedCloud::new(cache, row_edits), transport)
-            .map_err(distortion_err)?
-            .emd)
+        self.score_patch_with(&PatchedCloud::new(cache, row_edits), transport)
     }
 }
 

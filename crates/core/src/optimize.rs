@@ -278,7 +278,11 @@ impl SelectionPolicy {
     }
 }
 
-/// How the greedy planner's per-candidate EMD transports are solved.
+/// How a sequential unit chain's exact EMD transports are solved — the
+/// budget optimizer's per-candidate planning sweep
+/// ([`BudgetOptimizerConfig::transport`]) and the cost sweep's
+/// per-strategy fraction ladder
+/// ([`crate::CostSweepConfig::transport`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum TransportMode {
     /// Every exact transport is solved from a fresh north-west-corner
@@ -287,8 +291,9 @@ pub enum TransportMode {
     /// materialized reference path, enforced by this module's tests.
     #[default]
     Cold,
-    /// Candidate re-scores within one trajectory plan reuse a
-    /// [`sd_emd::BatchTransport`] checked out from the replication's
+    /// Consecutive scores within one chain — candidate re-scores of a
+    /// trajectory plan, or the fractions of one cost-sweep ladder — reuse
+    /// a [`sd_emd::BatchTransport`] checked out from the replication's
     /// signature cache, warm-starting each solve from the previous
     /// optimum's basis. Objectives agree with cold solves to
     /// `1e-9 · (1 + |cold|)` (pivot order may legitimately differ);

@@ -29,6 +29,14 @@
 //! [`BatchStats::fallbacks`] — so `solve` never errors where a cold solve
 //! would have succeeded.
 //!
+//! [`BatchTransport::solve_chained`] extends warm starts across a
+//! fraction ladder, where the *cost matrix drifts* link to link: an
+//! unchanged shape with changed cost bits is repaired under the old
+//! costs, repriced, and resumed ([`BatchStats::drift_hits`]). The grid
+//! pipeline keeps even the *shape* stable across a ladder by embedding
+//! each link into a [`ChainFrame`] slot roster with exactly-zero padding
+//! — see that type's docs for the padding-soundness argument.
+//!
 //! **Objective contract.** Warm and cold solves both terminate at an
 //! optimal basis of the same linear program, so their objectives agree
 //! mathematically; the *pivot sequences* differ, so the floating-point
@@ -50,6 +58,132 @@ use std::cell::RefCell;
 /// rounding residue and clamp to zero.
 const WARM_FEASIBILITY_TOL: f64 = 1e-9;
 
+/// Caller-managed cell frames for *padded* chained solves.
+///
+/// The grid pipeline's chained path ([`crate::GridEmd`]'s fraction-ladder
+/// entry point) embeds every link's signature into a fixed roster of
+/// *slots*, one roster per marginal, padding every slot whose anchor cell
+/// the link does not occupy with exactly-zero mass. Zero-mass nodes force
+/// zero flow in every feasible solution, so the padded optimum equals the
+/// unpadded one; what padding buys is a *stable shape*: consecutive links
+/// present the same `(n, m)` to [`BatchTransport::solve_chained`] even as
+/// their occupied-cell sets drift, which is what lets the warm basis
+/// survive the ladder.
+///
+/// When a link occupies a cell the roster has not seen, the frame first
+/// tries to **re-anchor** a slot whose old cell the link vacated: a
+/// zero-mass slot's ground position is arbitrary, so moving it to the new
+/// cell is an ordinary cost perturbation — absorbed by the drifted warm
+/// path without a shape change. The roster only grows (shape change →
+/// cold restart, chain re-seeded) when the link occupies more cells than
+/// the roster holds slots, which in a cleaning ladder happens on the few
+/// early links where occupancy still rises.
+///
+/// The frame is opaque to the solver; it lives on the arena so
+/// [`BatchTransport::reset_chain`] clears it together with the warm flag
+/// at every pool checkout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainFrame {
+    /// Slot roster framing the supply marginal.
+    pub side_a: SideFrame,
+    /// Slot roster framing the demand marginal.
+    pub side_b: SideFrame,
+}
+
+impl ChainFrame {
+    /// Covers both ascending cell lists, re-anchoring vacated slots where
+    /// possible. Returns `true` when either link occupies more cells than
+    /// its roster holds slots: the shape must change, so **both** rosters
+    /// are rebuilt as exactly the link's cells — the forced cold restart
+    /// then solves the *unpadded* instance (zero-mass padding makes the
+    /// NW-corner start pathologically degenerate, so padded cold solves
+    /// are avoided entirely) and re-seeds the chain from it.
+    pub fn ensure_covers(&mut self, a: &[usize], b: &[usize]) -> bool {
+        if a.len() > self.side_a.slot_cells.len() || b.len() > self.side_b.slot_cells.len() {
+            self.side_a.rebuild(a);
+            self.side_b.rebuild(b);
+            return true;
+        }
+        self.side_a.cover(a);
+        self.side_b.cover(b);
+        false
+    }
+}
+
+/// One marginal's slot roster (see [`ChainFrame`]): `slot_cells[s]` is
+/// the grid cell slot `s` is anchored to. Anchors are pairwise distinct —
+/// every anchored cell maps back to exactly one slot — but the roster is
+/// *not* sorted: re-anchoring and growth append or overwrite in coverage
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SideFrame {
+    slot_cells: Vec<usize>,
+    /// Inverse map: anchor cell → slot.
+    index: std::collections::BTreeMap<usize, usize>,
+}
+
+impl SideFrame {
+    /// Anchor cells by slot. The embedded marginal has length
+    /// `slots().len()`; slot `s` carries the link's mass for cell
+    /// `slots()[s]` when the link occupies it, and exact zero otherwise.
+    pub fn slots(&self) -> &[usize] {
+        &self.slot_cells
+    }
+
+    /// Anchors every cell of the ascending `cells` list to a slot:
+    /// already-anchored cells keep their slot, new cells re-anchor slots
+    /// whose old cell this link vacated (ascending victim order, so the
+    /// assignment is deterministic). The caller guarantees
+    /// `cells.len() ≤ slots().len()` (rosters are bijectively anchored,
+    /// so that bound means enough vacated slots exist).
+    fn cover(&mut self, cells: &[usize]) {
+        debug_assert!(cells.windows(2).all(|w| w[0] < w[1]), "cells not sorted");
+        let fresh: Vec<usize> = cells
+            .iter()
+            .copied()
+            .filter(|c| !self.index.contains_key(c))
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        // Slots whose anchor the link vacated, in ascending anchor order.
+        let victims: Vec<usize> = self
+            .index
+            .iter()
+            .filter(|(c, _)| cells.binary_search(c).is_err())
+            .map(|(&c, _)| c)
+            .collect();
+        if victims.len() < fresh.len() {
+            // Unreachable while the roster is bijective and the caller
+            // checked `cells.len() ≤ slots().len()`; rebuilding keeps the
+            // roster coherent regardless (the solver sees a new shape and
+            // cold-restarts, which is always correct — just not warm).
+            self.rebuild(cells);
+            return;
+        }
+        for (c, vc) in fresh.into_iter().zip(victims) {
+            if let Some(s) = self.index.remove(&vc) {
+                self.slot_cells[s] = c;
+                self.index.insert(c, s);
+            }
+        }
+    }
+
+    /// Resets the roster to exactly `cells` (ascending), slot `s`
+    /// anchored to `cells[s]` — the unpadded embedding.
+    fn rebuild(&mut self, cells: &[usize]) {
+        self.clear();
+        self.slot_cells.extend_from_slice(cells);
+        self.index
+            .extend(cells.iter().copied().enumerate().map(|(s, c)| (c, s)));
+    }
+
+    fn clear(&mut self) {
+        self.slot_cells.clear();
+        self.index.clear();
+    }
+}
+
 /// Counters describing how a [`BatchTransport`] arena has been used.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
@@ -60,6 +194,10 @@ pub struct BatchStats {
     /// Warm hits that needed dual-repair pivots to restore primal
     /// feasibility first (a subset of `warm_hits`).
     pub repairs: u64,
+    /// Warm hits completed although the chain's cost matrix had drifted
+    /// (the chained-unit mode of [`BatchTransport::solve_chained`]; a
+    /// subset of `warm_hits`).
+    pub drift_hits: u64,
     /// Warm attempts that fell back to a cold solve (repair stalled or a
     /// resumed pivot failed).
     pub fallbacks: u64,
@@ -106,6 +244,8 @@ pub struct BatchTransport {
     order: Vec<u32>,
     /// Subtree marks for the dual-repair cut scan.
     in_subtree: Vec<bool>,
+    /// Cell frames for padded chained solves (see [`ChainFrame`]).
+    frame: ChainFrame,
     stats: BatchStats,
 }
 
@@ -135,6 +275,7 @@ impl BatchTransport {
             balance: Vec::new(),
             order: Vec::new(),
             in_subtree: Vec::new(),
+            frame: ChainFrame::default(),
             stats: BatchStats::default(),
         }
     }
@@ -154,6 +295,23 @@ impl BatchTransport {
     /// The next [`solve`](Self::solve) runs cold and starts a new chain.
     pub fn reset_chain(&mut self) {
         self.warm = false;
+        self.frame.side_a.clear();
+        self.frame.side_b.clear();
+    }
+
+    /// Moves the padded-chain cell frame out of the arena (so a caller
+    /// can read and extend it while also mutably borrowing the arena for
+    /// the solve itself). Pair with
+    /// [`restore_chain_frame`](Self::restore_chain_frame).
+    pub fn take_chain_frame(&mut self) -> ChainFrame {
+        std::mem::take(&mut self.frame)
+    }
+
+    /// Returns a frame taken with
+    /// [`take_chain_frame`](Self::take_chain_frame) so the next link of
+    /// the chain sees it.
+    pub fn restore_chain_frame(&mut self, frame: ChainFrame) {
+        self.frame = frame;
     }
 
     /// The optimal flow matrix of the most recent successful solve
@@ -190,6 +348,73 @@ impl BatchTransport {
         }
         // Cold (re)start: the warm flag is cleared first so an error exit
         // cannot leave a half-built tree marked reusable.
+        self.warm = false;
+        let objective = self.cold_inner(supply, cost)?;
+        self.remember(supply, cost);
+        Ok(objective / total)
+    }
+
+    /// Solves the next link of a *chained-unit* sequence — the cost
+    /// sweep's fraction ladder, where consecutive instances are
+    /// re-quantizations of one dirty cloud against progressively cleaner
+    /// counterparts: masses drift on **both** marginals (the cover rule
+    /// re-grids, perturbing even the dirty side's weights) and the
+    /// ground-cost matrix drifts as cleaning moves mass between grid
+    /// cells. Warm-starts whenever the *shape* `(n, m)` matches the chain
+    /// head — the basis tree is a spanning structure over the node sets,
+    /// so it survives any marginal or cost perturbation of the same
+    /// shape:
+    ///
+    /// * unchanged cost bits — exactly the [`solve`](Self::solve) warm
+    ///   path: the inherited duals stay feasible, so supply *and* demand
+    ///   drift is the textbook RHS re-optimization (flows from the new
+    ///   marginals, dual repair of negative arcs, resumed pricing);
+    /// * drifted cost bits — the inherited spanning tree is re-priced
+    ///   against the new costs and, if its implied basic flows for the new
+    ///   marginals are already primal-feasible, primal pivoting resumes
+    ///   directly (classic re-optimization after a cost perturbation).
+    ///   The dual repair is **not** available here — its correctness
+    ///   argument needs unchanged costs — so an infeasible inheritance
+    ///   falls back to a cold solve on the same arena.
+    ///
+    /// Either way the solve terminates at an optimal basis of the *new*
+    /// program, so the objective contract is [`solve`](Self::solve)'s:
+    /// `|warm − cold| ≤ 1e-9 · (1 + |cold|)`.
+    pub fn solve_chained(&mut self, supply: &[f64], demand: &[f64], cost: &[f64]) -> Result<f64> {
+        let scale = validate_balanced(supply, demand, cost)?;
+        self.stats.solves += 1;
+        self.demand.clear();
+        self.demand.extend(demand.iter().map(|&x| x * scale));
+        let total: f64 = supply.iter().sum();
+        let chain_ok = self.warm && self.n == supply.len() && self.m == demand.len();
+        if chain_ok {
+            let drifted = !bits_equal(&self.chain_cost, cost);
+            let attempt = if drifted {
+                self.try_warm_drifted(supply, cost, total)
+            } else {
+                // Costs are bit-equal to the chain head's, so the
+                // inherited duals stay feasible and supply/demand drift
+                // is the textbook RHS re-optimization `try_warm` runs
+                // (flows from the new marginals, dual repair, resume).
+                self.try_warm(supply, cost, total)
+            };
+            match attempt {
+                Some(value) => {
+                    self.stats.warm_hits += 1;
+                    if drifted {
+                        self.stats.drift_hits += 1;
+                    }
+                    // The tree is optimal for the new instance: it is the
+                    // chain head for the next link.
+                    self.chain_supply.clear();
+                    self.chain_supply.extend_from_slice(supply);
+                    self.chain_cost.clear();
+                    self.chain_cost.extend_from_slice(cost);
+                    return Ok(value);
+                }
+                None => self.stats.fallbacks += 1,
+            }
+        }
         self.warm = false;
         let objective = self.cold_inner(supply, cost)?;
         self.remember(supply, cost);
@@ -247,6 +472,45 @@ impl BatchTransport {
         if repaired {
             self.stats.repairs += 1;
         }
+        Some(objective_of(&self.flow, cost) / total)
+    }
+
+    /// The cost-drift warm attempt of [`solve_chained`]
+    /// (`Self::solve_chained`), in two stages that each keep a valid
+    /// invariant:
+    ///
+    /// 1. **RHS re-optimization under the chain head's costs** — the
+    ///    inherited duals are feasible for those costs, so the basic
+    ///    flows for the new marginals can be repaired with dual pivots
+    ///    exactly as in [`try_warm`](Self::try_warm). This ends at a
+    ///    primal-feasible basis.
+    /// 2. **Cost re-optimization** — from a primal-feasible basis, primal
+    ///    pivoting under the *new* costs needs no feasibility argument at
+    ///    all; re-price the tree and resume.
+    ///
+    /// `None` (repair stalled or a pivot failed) falls back to a cold
+    /// solve on the same arena.
+    fn try_warm_drifted(&mut self, supply: &[f64], cost: &[f64], total: f64) -> Option<f64> {
+        let tol = WARM_FEASIBILITY_TOL * total;
+        let n = self.n;
+        let m = self.m;
+        self.flow.resize(n * m, 0.0);
+        self.tree.recompute_potentials(&self.chain_cost);
+        if !self.tree.flows_from_marginals(
+            supply,
+            &self.demand,
+            &mut self.flow,
+            &mut self.balance,
+            &mut self.order,
+            tol,
+        ) && !self
+            .tree
+            .dual_repair(&self.chain_cost, &mut self.flow, &mut self.in_subtree, tol)
+        {
+            return None;
+        }
+        self.tree.recompute_potentials(cost);
+        run_simplex(n, m, cost, &mut self.tree, &mut self.flow).ok()?;
         Some(objective_of(&self.flow, cost) / total)
     }
 
@@ -461,6 +725,100 @@ mod tests {
     }
 
     #[test]
+    fn chained_solve_survives_cost_drift_within_contract() {
+        // A fraction ladder's shape: pinned supply, drifting demands AND
+        // a slightly perturbed cost matrix at every link.
+        let mut next = lcg(0xACE);
+        let (supply, mut demand, mut cost) = instance(20, 16, &mut next);
+        let mut arena = BatchTransport::new();
+        for round in 0..8 {
+            if round > 0 {
+                let a = round % demand.len();
+                let b = (round * 5 + 1) % demand.len();
+                let delta = demand[a] * 0.04;
+                demand[a] -= delta;
+                demand[b] += delta;
+                // Cost drift: one entry nudged per link.
+                let k = (round * 13) % cost.len();
+                cost[k] += 0.05;
+            }
+            let warm = arena.solve_chained(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.solves, 8);
+        // Every link after the first either warmed or fell back — a
+        // drifted cost alone must not break the chain.
+        assert_eq!(stats.warm_hits + stats.fallbacks, 7, "{stats:?}");
+        assert!(stats.drift_hits <= stats.warm_hits, "{stats:?}");
+    }
+
+    #[test]
+    fn chained_solve_with_stable_cost_matches_solve_semantics() {
+        let mut next = lcg(0xFAB);
+        let (supply, mut demand, cost) = instance(12, 10, &mut next);
+        let mut arena = BatchTransport::new();
+        for round in 0..5 {
+            let a = round % demand.len();
+            let b = (round * 3 + 1) % demand.len();
+            let delta = demand[a] * 0.05;
+            demand[a] -= delta;
+            demand[b] += delta;
+            let warm = arena.solve_chained(&supply, &demand, &cost).unwrap();
+            let cold = TransportProblem::new(supply.clone(), demand.clone(), cost.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            assert!(
+                (warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "round {round}: warm {warm} vs cold {cold}"
+            );
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.drift_hits, 0, "{stats:?}");
+        assert!(stats.warm_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn chained_solve_survives_supply_drift_and_breaks_on_shape() {
+        let mut next = lcg(0xCAB);
+        let (supply, demand, cost) = instance(6, 5, &mut next);
+        let mut arena = BatchTransport::new();
+        arena.solve_chained(&supply, &demand, &cost).unwrap();
+        // Drifted supply bits, same shape: the chain holds (RHS
+        // re-optimization) and the contract still binds.
+        let mut supply2 = supply.clone();
+        supply2[0] += 1e-3;
+        supply2[1] -= 1e-3;
+        let warm = arena.solve_chained(&supply2, &demand, &cost).unwrap();
+        let cold = TransportProblem::new(supply2, demand.clone(), cost.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((warm - cold).abs() <= 1e-9 * (1.0 + cold.abs()));
+        let after_supply_drift = arena.stats();
+        assert_eq!(
+            after_supply_drift.warm_hits + after_supply_drift.fallbacks,
+            1,
+            "{after_supply_drift:?}"
+        );
+        // Different shape: the spanning tree has the wrong node sets —
+        // cold restart, not even a warm attempt.
+        let (s3, d3, c3) = instance(7, 5, &mut next);
+        arena.solve_chained(&s3, &d3, &c3).unwrap();
+        let after_shape_change = arena.stats();
+        assert_eq!(after_shape_change.warm_hits, after_supply_drift.warm_hits);
+        assert_eq!(after_shape_change.fallbacks, after_supply_drift.fallbacks);
+    }
+
+    #[test]
     fn reset_chain_forces_a_cold_solve() {
         let mut next = lcg(0x5E7);
         let (supply, demand, cost) = instance(6, 7, &mut next);
@@ -546,6 +904,69 @@ mod tests {
         let (supply, demand, cost) = (vec![1.0], vec![1.0], vec![2.0]);
         let v = arena.solve(&supply, &demand, &cost).unwrap();
         assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    /// The roster invariant: anchors pairwise distinct and the inverse
+    /// index consistent — checked via the public surface only.
+    fn assert_bijective(side: &SideFrame, expected: &[usize]) {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in side.slots() {
+            assert!(seen.insert(c), "anchor {c} appears twice");
+        }
+        let mut want: Vec<usize> = expected.to_vec();
+        want.sort_unstable();
+        let mut got: Vec<usize> = side.slots().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, want, "anchored cells differ from expectation");
+    }
+
+    #[test]
+    fn frame_reanchors_vacated_slots_without_growing() {
+        let mut frame = ChainFrame::default();
+        // Seed: both rosters rebuilt to the first link's cells.
+        assert!(frame.ensure_covers(&[2, 5, 9, 14], &[1, 3]));
+        assert_eq!(frame.side_a.slots(), &[2, 5, 9, 14]);
+        assert_eq!(frame.side_b.slots(), &[1, 3]);
+        // Same occupancy count, drifted cell set: cells 5 and 14 vacate,
+        // 6 and 11 arrive. No growth, so no shape change — and the
+        // re-anchoring is deterministic: ascending fresh cells take
+        // ascending vacated anchors (6 → slot of 5, 11 → slot of 14).
+        assert!(!frame.ensure_covers(&[2, 6, 9, 11], &[1, 3]));
+        assert_eq!(frame.side_a.slots(), &[2, 6, 9, 11]);
+        assert_bijective(&frame.side_a, &[2, 6, 9, 11]);
+        // Shrinking occupancy keeps the stale anchors in place (padded
+        // with zero mass) — still no shape change.
+        assert!(!frame.ensure_covers(&[6, 9], &[1, 3]));
+        assert_eq!(frame.side_a.slots(), &[2, 6, 9, 11]);
+        // A later link re-occupying a retained anchor reuses its slot.
+        assert!(!frame.ensure_covers(&[2, 6, 9, 11], &[1, 3]));
+        assert_eq!(frame.side_a.slots(), &[2, 6, 9, 11]);
+    }
+
+    #[test]
+    fn frame_growth_rebuilds_both_sides_unpadded() {
+        let mut frame = ChainFrame::default();
+        assert!(frame.ensure_covers(&[4, 8], &[0, 2, 7]));
+        // Side a drifts within its roster; side b needs a fourth slot.
+        // Growth on either side rebuilds BOTH rosters to exactly the
+        // current cells so the forced cold restart is unpadded.
+        assert!(frame.ensure_covers(&[3, 8], &[0, 2, 5, 7]));
+        assert_eq!(frame.side_a.slots(), &[3, 8]);
+        assert_eq!(frame.side_b.slots(), &[0, 2, 5, 7]);
+        assert_bijective(&frame.side_a, &[3, 8]);
+        assert_bijective(&frame.side_b, &[0, 2, 5, 7]);
+    }
+
+    #[test]
+    fn reset_chain_clears_the_frame() {
+        let mut arena = BatchTransport::new();
+        let mut frame = arena.take_chain_frame();
+        frame.ensure_covers(&[1, 2], &[3]);
+        arena.restore_chain_frame(frame);
+        arena.reset_chain();
+        let frame = arena.take_chain_frame();
+        assert_eq!(frame, ChainFrame::default());
+        arena.restore_chain_frame(frame);
     }
 
     #[test]

@@ -41,12 +41,17 @@ pub const BENCH_CRATE: &str = "sd-bench";
 
 /// The files allowed to touch thread-spawn primitives: the
 /// `parallel_map` preallocated-slot implementation every parallel
-/// compute path must route through, and the serving layer's shard
-/// module, whose workers never fold floats across threads — every
-/// cross-thread value travels a channel and is assembled in series
-/// order by a single collector.
-pub const APPROVED_PARALLEL_FILES: [&str; 2] =
-    ["crates/core/src/runner.rs", "crates/serve/src/shard.rs"];
+/// compute path must route through; the serving layer's shard module,
+/// whose workers never fold floats across threads — every cross-thread
+/// value travels a channel and is assembled in series order by a single
+/// collector; and the serving layer's evaluator module, whose worker
+/// pool scores windows that share no mutable state and whose reorder
+/// stage republishes results strictly in window order.
+pub const APPROVED_PARALLEL_FILES: [&str; 3] = [
+    "crates/core/src/runner.rs",
+    "crates/serve/src/shard.rs",
+    "crates/serve/src/evaluator.rs",
+];
 
 /// Runs every rule over one file; returns raw findings (allow-directive
 /// suppression happens in [`crate::engine`]).

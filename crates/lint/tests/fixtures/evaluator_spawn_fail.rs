@@ -1,0 +1,12 @@
+use std::io;
+use std::thread::{Builder, JoinHandle};
+
+pub fn spawn_pool(workers: usize) -> io::Result<Vec<JoinHandle<()>>> {
+    (0..workers)
+        .map(|w| {
+            Builder::new()
+                .name(format!("rogue-eval-{w}"))
+                .spawn(move || drop(w))
+        })
+        .collect()
+}

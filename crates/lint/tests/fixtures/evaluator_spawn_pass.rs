@@ -1,0 +1,13 @@
+use std::thread::{Builder, JoinHandle};
+
+pub fn spawn_evaluators(workers: usize) -> Vec<JoinHandle<()>> {
+    (0..workers)
+        .map(|w| {
+            Builder::new()
+                .name(format!("sd-serve-eval-{w}"))
+                .spawn(move || drop(w))
+                // sd-lint: allow(P001, OS thread exhaustion has no recovery path)
+                .expect("spawning an evaluator thread")
+        })
+        .collect()
+}

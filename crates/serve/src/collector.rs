@@ -1,24 +1,25 @@
-//! Window assembly and evaluation: the single consumer of shard output.
+//! Window assembly: the single consumer of shard output.
 //!
 //! The collector receives per-node window segments from every shard over
-//! one bounded channel, assembles them into service-wide segment vectors
-//! (series order, independent of shard count and scheduling), and runs the
-//! shared windowed pipeline — [`sd_core::calibrate_window`] followed by
-//! [`sd_core::evaluate_window_artifacts`] on the engine's group-slot
-//! machinery — the moment a window is complete. Windows are evaluated
-//! strictly in stream order, which per-shard FIFO delivery makes safe:
-//! a window can only be complete once every earlier window is.
+//! one bounded channel and assembles them into service-wide segment
+//! vectors (series order, independent of shard count and scheduling).
+//! The moment a window is complete it is *dispatched* — in strict stream
+//! order, which per-shard FIFO delivery makes safe: a window can only be
+//! complete once every earlier window is — to the evaluator pool
+//! ([`crate::evaluator`]), which calibrates and scores it off the
+//! assembly thread and republishes results in window order. Splitting
+//! assembly from evaluation lets ingestion and kernel scoring overlap:
+//! the collector is back at its inbox while earlier windows are still
+//! being scored.
 
+use crate::evaluator::{DepthGauge, EvalJob};
 use crate::ServeConfig;
 use parking_lot::Mutex;
-use sd_cleaning::CompositeStrategy;
-use sd_core::{
-    calibrate_window, evaluate_window_artifacts, FrameworkError, ThreadPoolExecutor, WindowOutcome,
-    WindowScreen,
-};
+use sd_core::{FrameworkError, WindowOutcome, WindowScreen};
 use sd_data::{NodeId, TimeSeries};
 use std::collections::BTreeMap;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
 
 /// What shards send the collector.
 pub(crate) enum CollectorMsg {
@@ -55,8 +56,8 @@ pub(crate) enum CollectorMsg {
     },
 }
 
-/// One completed window, published to the service as soon as it is
-/// evaluated — the live view of the stream's trajectory.
+/// One completed window, published by the reorder stage the moment it is
+/// next in stream order — the live view of the stream's trajectory.
 #[derive(Debug, Clone)]
 pub struct WindowUpdate {
     /// Window index, in stream order.
@@ -67,12 +68,14 @@ pub struct WindowUpdate {
     pub outcomes: Vec<WindowOutcome>,
 }
 
-/// Everything the collector accumulated by end of stream.
-pub(crate) struct CollectorOutput {
-    pub outcomes: Vec<WindowOutcome>,
-    pub screens: Vec<WindowScreen>,
+/// What the assembly thread accumulated by end of stream. Outcomes and
+/// screens live with the reorder stage now; the collector only knows how
+/// many windows it dispatched — the completeness bar the reorder stage's
+/// published count is checked against.
+pub(crate) struct AssemblerOutput {
     pub rows: u64,
     pub high_water: usize,
+    pub windows_dispatched: usize,
 }
 
 /// One window's partially assembled segments.
@@ -92,50 +95,42 @@ impl Assembly {
     }
 }
 
-/// The collector thread body.
+/// The collector (assembly) thread body.
 pub(crate) struct Collector {
     config: ServeConfig,
     nodes: Vec<NodeId>,
-    neighbors: Vec<Vec<(usize, f64)>>,
-    strategies: Vec<CompositeStrategy>,
-    executor: ThreadPoolExecutor,
-    updates: Sender<WindowUpdate>,
+    dispatch: SyncSender<EvalJob>,
+    depth: Arc<DepthGauge>,
     pending: BTreeMap<usize, Assembly>,
-    next_eval: usize,
-    outcomes: Vec<WindowOutcome>,
-    screens: Vec<WindowScreen>,
+    next_dispatch: usize,
 }
 
 impl Collector {
     pub(crate) fn new(
         config: ServeConfig,
         nodes: Vec<NodeId>,
-        neighbors: Vec<Vec<(usize, f64)>>,
-        strategies: Vec<CompositeStrategy>,
-        updates: Sender<WindowUpdate>,
+        dispatch: SyncSender<EvalJob>,
+        depth: Arc<DepthGauge>,
     ) -> Self {
-        let executor = ThreadPoolExecutor::new(config.windowed.threads);
         Collector {
             config,
             nodes,
-            neighbors,
-            strategies,
-            executor,
-            updates,
+            dispatch,
+            depth,
             pending: BTreeMap::new(),
-            next_eval: 0,
-            outcomes: Vec::new(),
-            screens: Vec::new(),
+            next_dispatch: 0,
         }
     }
 
-    /// Drains shard messages until every shard reports done, evaluating
+    /// Drains shard messages until every shard reports done, dispatching
     /// windows eagerly and in order; then settles clipped/ragged tail
-    /// windows from the reported stream lengths.
+    /// windows from the reported stream lengths. Dropping `self` on
+    /// return closes the dispatch channel, which is how the evaluator
+    /// workers learn the stream is over.
     pub(crate) fn run(
         mut self,
         inbox: &Receiver<CollectorMsg>,
-    ) -> Result<CollectorOutput, FrameworkError> {
+    ) -> Result<AssemblerOutput, FrameworkError> {
         let num_series = self.nodes.len();
         let shards = self.config.shards;
         let mut done = 0usize;
@@ -157,7 +152,7 @@ impl Collector {
                     segment,
                 } => {
                     self.accept(window, series, sealed, segment)?;
-                    self.evaluate_ready()?;
+                    self.dispatch_ready()?;
                 }
                 CollectorMsg::ShardDone {
                     shard,
@@ -187,11 +182,10 @@ impl Collector {
             }
         }
         self.settle_tail(&final_lens)?;
-        Ok(CollectorOutput {
-            outcomes: self.outcomes,
-            screens: self.screens,
+        Ok(AssemblerOutput {
             rows,
             high_water,
+            windows_dispatched: self.next_dispatch,
         })
     }
 
@@ -202,9 +196,9 @@ impl Collector {
         sealed: bool,
         segment: TimeSeries,
     ) -> Result<(), FrameworkError> {
-        if window < self.next_eval {
+        if window < self.next_dispatch {
             return Err(FrameworkError::Internal(format!(
-                "segment for already-evaluated window {window} (series {series})"
+                "segment for already-dispatched window {window} (series {series})"
             )));
         }
         let num_series = self.nodes.len();
@@ -223,25 +217,26 @@ impl Collector {
         Ok(())
     }
 
-    /// Evaluates consecutive complete windows starting at `next_eval`.
-    /// Per-shard FIFO delivery guarantees window `w` cannot be complete
-    /// while `w - 1` is not, so this never leaves a gap.
-    fn evaluate_ready(&mut self) -> Result<(), FrameworkError> {
-        while let Some(assembly) = self.pending.get(&self.next_eval) {
+    /// Dispatches consecutive complete windows starting at
+    /// `next_dispatch`. Per-shard FIFO delivery guarantees window `w`
+    /// cannot be complete while `w - 1` is not, so this never leaves a
+    /// gap.
+    fn dispatch_ready(&mut self) -> Result<(), FrameworkError> {
+        while let Some(assembly) = self.pending.get(&self.next_dispatch) {
             if assembly.filled < self.nodes.len() || !assembly.sealed {
                 break;
             }
-            let w = self.next_eval;
+            let w = self.next_dispatch;
             if let Some(assembly) = self.pending.remove(&w) {
-                self.evaluate(w, assembly.slots)?;
+                self.dispatch(w, assembly.slots)?;
             }
-            self.next_eval += 1;
+            self.next_dispatch += 1;
         }
         Ok(())
     }
 
     /// After every shard closed: fill in empty segments for series whose
-    /// stream ended before a window, evaluate the remaining real windows,
+    /// stream ended before a window, dispatch the remaining real windows,
     /// and drop speculative tails beyond the stream's horizon (their
     /// windows do not exist in the batch replay either).
     fn settle_tail(&mut self, final_lens: &[Option<usize>]) -> Result<(), FrameworkError> {
@@ -263,7 +258,7 @@ impl Collector {
         } else {
             (horizon - window) / stride + 1
         };
-        for w in self.next_eval..num_windows {
+        for w in self.next_dispatch..num_windows {
             let mut assembly = self
                 .pending
                 .remove(&w)
@@ -284,49 +279,37 @@ impl Collector {
                     ));
                 }
             }
-            self.evaluate(w, assembly.slots)?;
+            self.dispatch(w, assembly.slots)?;
         }
-        self.next_eval = num_windows;
+        self.next_dispatch = num_windows;
         // Anything still pending reaches past the horizon: those windows
         // do not exist (`num_windows` excludes them) — discard.
         self.pending.clear();
         Ok(())
     }
 
-    fn evaluate(&mut self, w: usize, slots: Vec<Option<TimeSeries>>) -> Result<(), FrameworkError> {
+    /// Hands one assembled window to the evaluator pool; the bounded
+    /// dispatch channel is the pipeline's backpressure.
+    fn dispatch(&mut self, w: usize, slots: Vec<Option<TimeSeries>>) -> Result<(), FrameworkError> {
         let mut segments = Vec::with_capacity(slots.len());
         for (series, slot) in slots.into_iter().enumerate() {
             match slot {
                 Some(segment) => segments.push(segment),
                 None => {
                     return Err(FrameworkError::Internal(format!(
-                        "window {w} evaluated with a hole at series {series}"
+                        "window {w} dispatched with a hole at series {series}"
                     )))
                 }
             }
         }
-        let (artifacts, screen) = calibrate_window(
-            &self.config.windowed,
-            &self.config.attributes,
-            w,
-            &segments,
-            &self.neighbors,
-        )?;
-        let outcomes = evaluate_window_artifacts(
-            &self.config.windowed,
-            &self.strategies,
-            &self.executor,
-            artifacts,
-        )?;
-        // Live subscribers are optional; a dropped update receiver must
-        // not fail the stream.
-        let _ = self.updates.send(WindowUpdate {
-            window_index: w,
-            screen: screen.clone(),
-            outcomes: outcomes.clone(),
-        });
-        self.screens.push(screen);
-        self.outcomes.extend(outcomes);
+        self.depth.on_dispatch();
+        if self.dispatch.send(EvalJob::new(w, segments)).is_err() {
+            // Every worker is gone (the pool only disconnects after a
+            // failure); `finish` will attribute the root cause.
+            return Err(FrameworkError::Internal(format!(
+                "the evaluator pool disconnected before window {w}"
+            )));
+        }
         Ok(())
     }
 }
@@ -351,7 +334,7 @@ impl UpdateFeed {
     }
 
     /// Blocking: waits for the next completed window; `None` once the
-    /// collector has hung up (end of stream or failure).
+    /// reorder stage has hung up (end of stream or failure).
     pub(crate) fn next(&self) -> Option<WindowUpdate> {
         self.receiver.lock().recv().ok()
     }

@@ -18,12 +18,21 @@
 //! count, channel capacity, and arrival interleaving
 //! (`tests/streaming_equivalence.rs` holds the proof obligations).
 //!
+//! Evaluation is pipelined: the collector only *assembles* windows and
+//! dispatches each completed one to a bounded pool of evaluator workers
+//! ([`ServeConfig::evaluators`]); a reorder stage publishes results
+//! strictly in window order, so the report — and the live update feed —
+//! stay bit-identical at every pool size while kernel scoring overlaps
+//! ingestion.
+//!
 //! ## Layout
 //!
 //! - [`ServeConfig`] / [`shard_of`] — geometry, serving knobs, routing.
 //! - `shard` (private) — shard worker threads owning the rings.
-//! - `collector` (private) — window assembly and in-order evaluation;
+//! - `collector` (private) — window assembly and in-order dispatch;
 //!   exposes [`WindowUpdate`], the live per-window feed.
+//! - `evaluator` (private) — the evaluator-worker pool and the reorder
+//!   stage; exposes [`WindowLag`], the per-window lag observability.
 //! - [`StreamingService`] — the producer-facing handle:
 //!   [`launch`](StreamingService::launch) →
 //!   [`ingest`](StreamingService::ingest) →
@@ -34,9 +43,11 @@
 
 mod collector;
 mod config;
+mod evaluator;
 mod service;
 mod shard;
 
 pub use collector::WindowUpdate;
 pub use config::{shard_of, ServeConfig};
+pub use evaluator::WindowLag;
 pub use service::{ServeStats, StreamReport, StreamingService};

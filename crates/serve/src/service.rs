@@ -1,13 +1,15 @@
 //! The streaming service: producer-facing ingestion, live window updates,
 //! and the final report.
 
-use crate::collector::{Collector, CollectorOutput, UpdateFeed, WindowUpdate};
+use crate::collector::{AssemblerOutput, Collector, UpdateFeed, WindowUpdate};
+use crate::evaluator::{spawn_evaluator_pool, DepthGauge, ReorderOutput, WindowLag};
 use crate::shard::{spawn_collector, spawn_shard, ShardMsg, ShardWorker};
 use crate::{shard_of, ServeConfig};
 use sd_cleaning::CompositeStrategy;
 use sd_core::{resolve_neighbor_views, FrameworkError, Result, WindowOutcome, WindowScreen};
 use sd_data::{ArrivalRow, NodeId};
 use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Aggregate statistics of one served stream.
@@ -15,6 +17,8 @@ use std::thread::JoinHandle;
 pub struct ServeStats {
     /// Number of ingestion shards.
     pub shards: usize,
+    /// Size of the evaluator-worker pool.
+    pub evaluators: usize,
     /// Rows ingested across all shards.
     pub rows_ingested: u64,
     /// Highest per-node ring occupancy any shard ever observed. Bounded
@@ -25,6 +29,29 @@ pub struct ServeStats {
     pub ring_capacity: usize,
     /// Windows calibrated and evaluated.
     pub windows_evaluated: usize,
+    /// High-water mark of windows dispatched to the evaluator pool but
+    /// not yet published by the reorder stage — how deep the pipeline
+    /// actually ran. Never exceeds `2 · evaluators + 1` (queue capacity
+    /// plus in-flight evaluations plus one reorder slot).
+    pub max_pending_windows: usize,
+    /// Per-window evaluation lag — queue wait and evaluate time — in
+    /// window order. Timings are observability, not results: they vary
+    /// run to run while every outcome stays bit-identical.
+    pub window_lags: Vec<WindowLag>,
+}
+
+impl ServeStats {
+    /// `(mean queue-wait µs, mean evaluate µs)` across all windows;
+    /// zeros for an empty stream.
+    pub fn mean_lag_us(&self) -> (f64, f64) {
+        if self.window_lags.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.window_lags.len() as f64;
+        let wait: u64 = self.window_lags.iter().map(|l| l.queue_wait_us).sum();
+        let eval: u64 = self.window_lags.iter().map(|l| l.evaluate_us).sum();
+        (wait as f64 / n, eval as f64 / n)
+    }
 }
 
 /// Everything a finished stream produced — the streaming analogue of
@@ -60,7 +87,7 @@ impl StreamReport {
         &self.metrics
     }
 
-    /// Serving statistics (rows, ring occupancy, shard count).
+    /// Serving statistics (rows, ring occupancy, shard count, lags).
     pub fn stats(&self) -> &ServeStats {
         &self.stats
     }
@@ -81,11 +108,13 @@ impl StreamReport {
 ///
 /// Rows stream in via [`StreamingService::ingest`] (any interleaving
 /// across nodes; time-ordered per node), shards maintain bounded
-/// per-node ring buffers, and every completed window is calibrated,
-/// cleaned by each strategy, and kernel-scored on the shared engine —
+/// per-node ring buffers, completed windows are dispatched to a bounded
+/// pool of evaluator workers, and a reorder stage publishes every
+/// calibrated, cleaned, kernel-scored window strictly in stream order —
 /// emitting [`WindowUpdate`]s live and a [`StreamReport`] at
 /// [`StreamingService::finish`] whose outcomes are bit-identical to
-/// running [`sd_core::WindowedExperiment`] over the materialized stream.
+/// running [`sd_core::WindowedExperiment`] over the materialized stream,
+/// at every pool size.
 ///
 /// ```
 /// use sd_cleaning::paper_strategy;
@@ -99,7 +128,8 @@ impl StreamReport {
 /// let nodes = data.series().iter().map(|s| s.node()).collect();
 /// let attributes = data.attributes().iter().map(|a| a.name.clone()).collect();
 /// let serve = ServeConfig::new(WindowedConfig::paper_default(30, 30, 7), attributes)
-///     .with_shards(2);
+///     .with_shards(2)
+///     .with_evaluators(2);
 /// let service = StreamingService::launch(serve, nodes, vec![paper_strategy(5)]).unwrap();
 /// for row in stream_rows(&data) {
 ///     service.ingest(row).unwrap();
@@ -111,18 +141,23 @@ impl StreamReport {
 pub struct StreamingService {
     senders: Vec<SyncSender<ShardMsg>>,
     shard_handles: Vec<JoinHandle<()>>,
-    collector: JoinHandle<std::result::Result<CollectorOutput, FrameworkError>>,
+    collector: JoinHandle<std::result::Result<AssemblerOutput, FrameworkError>>,
+    evaluator_handles: Vec<JoinHandle<()>>,
+    reorder: JoinHandle<ReorderOutput>,
+    depth: Arc<DepthGauge>,
     updates: UpdateFeed,
     metrics: Vec<&'static str>,
     shards: usize,
+    evaluators: usize,
     ring_capacity: usize,
 }
 
 impl StreamingService {
-    /// Validates the configuration and spawns the shard and collector
-    /// threads. `nodes[i]` is the node whose rows form series `i` of the
-    /// stream — series order, like the batch dataset's, fixes outcome
-    /// order regardless of sharding.
+    /// Validates the configuration and spawns the shard, collector,
+    /// evaluator, and reorder threads. `nodes[i]` is the node whose rows
+    /// form series `i` of the stream — series order, like the batch
+    /// dataset's, fixes outcome order regardless of sharding or pool
+    /// size.
     pub fn launch(
         config: ServeConfig,
         nodes: Vec<NodeId>,
@@ -146,11 +181,12 @@ impl StreamingService {
             .map(sd_core::DistortionMetric::name)
             .collect();
         let shards = config.shards;
+        let evaluators = config.evaluators;
         let ring_capacity = config.ring_capacity();
         let num_attributes = config.attributes.len();
 
         // Shard → collector: one bounded channel shared by every shard
-        // (per-shard FIFO is what the collector's in-order evaluation
+        // (per-shard FIFO is what the collector's in-order dispatch
         // relies on). The original sender is dropped below so the channel
         // disconnects as soon as the last shard exits.
         let (emit, emit_rx) = sync_channel(config.channel_capacity);
@@ -161,7 +197,13 @@ impl StreamingService {
             per_shard[shard_of(node, shards)].push((series, node));
         }
 
-        let collector = Collector::new(config.clone(), nodes, neighbors, strategies, updates_tx);
+        // Evaluation stage first: the collector needs its dispatch
+        // sender. Dropping the Collector at end of stream closes that
+        // sender, which drains and retires the pool.
+        let pool = spawn_evaluator_pool(&config, strategies, neighbors, updates_tx);
+        let depth = Arc::clone(&pool.depth);
+
+        let collector = Collector::new(config.clone(), nodes, pool.dispatch, Arc::clone(&depth));
         let collector = spawn_collector(move || collector.run(&emit_rx));
 
         let mut senders = Vec::with_capacity(shards);
@@ -185,9 +227,13 @@ impl StreamingService {
             senders,
             shard_handles,
             collector,
+            evaluator_handles: pool.workers,
+            reorder: pool.reorder,
+            depth,
             updates: UpdateFeed::new(updates_rx),
             metrics,
             shards,
+            evaluators,
             ring_capacity,
         })
     }
@@ -215,16 +261,21 @@ impl StreamingService {
         self.updates.try_next()
     }
 
-    /// Blocks until the next window completes; `None` once the collector
-    /// has exited. Only call when enough rows are in flight to complete a
-    /// window — the stream cannot finish a window it was never fed.
+    /// Blocks until the next window completes; `None` once the reorder
+    /// stage has exited. Only call when enough rows are in flight to
+    /// complete a window — the stream cannot finish a window it was
+    /// never fed.
     pub fn next_window(&self) -> Option<WindowUpdate> {
         self.updates.next()
     }
 
     /// Ends the stream: flushes clipped tail windows, joins every thread,
-    /// and returns the report. A panicked shard or collector surfaces as
-    /// a structured [`FrameworkError`] — the service never wedges.
+    /// and returns the report. A panicked shard, evaluator, or collector
+    /// surfaces as a structured [`FrameworkError`] — the service never
+    /// wedges. Attribution order: a panicked shard first (it starves
+    /// everything downstream), then the reorder stage's in-order
+    /// evaluation error, then a panicked evaluator, then the collector's
+    /// own error.
     pub fn finish(self) -> Result<StreamReport> {
         for sender in &self.senders {
             // A dead shard already surfaced (or will) via join below.
@@ -237,11 +288,30 @@ impl StreamingService {
                 panicked_shard = Some(shard);
             }
         }
+        // The collector exits once every shard closed (or errored); its
+        // drop closes the dispatch channel, so the workers drain and
+        // exit, the results channel disconnects, and the reorder stage
+        // returns. Join order below mirrors that shutdown wave — no join
+        // can block on a thread joined later.
         let collected = match self.collector.join() {
             Ok(result) => result,
             Err(_) => Err(FrameworkError::Internal(
                 "the collector thread panicked".into(),
             )),
+        };
+        let mut panicked_evaluator = None;
+        for (evaluator, handle) in self.evaluator_handles.into_iter().enumerate() {
+            if handle.join().is_err() && panicked_evaluator.is_none() {
+                panicked_evaluator = Some(evaluator);
+            }
+        }
+        let reorder = match self.reorder.join() {
+            Ok(output) => output,
+            Err(_) => {
+                return Err(FrameworkError::Internal(
+                    "the reorder thread panicked".into(),
+                ))
+            }
         };
         if let Some(shard) = panicked_shard {
             return Err(FrameworkError::ShardFailed {
@@ -249,18 +319,35 @@ impl StreamingService {
                 detail: "its worker thread panicked".into(),
             });
         }
+        if let Some(error) = reorder.error {
+            return Err(error);
+        }
+        if let Some(evaluator) = panicked_evaluator {
+            return Err(FrameworkError::EvaluatorFailed {
+                evaluator,
+                detail: "its worker thread panicked".into(),
+            });
+        }
         let output = collected?;
-        let windows_evaluated = output.screens.len();
+        if reorder.published < output.windows_dispatched {
+            return Err(FrameworkError::Internal(format!(
+                "{} of {} dispatched windows were published",
+                reorder.published, output.windows_dispatched
+            )));
+        }
         Ok(StreamReport {
-            outcomes: output.outcomes,
-            screens: output.screens,
+            outcomes: reorder.outcomes,
+            screens: reorder.screens,
             metrics: self.metrics,
             stats: ServeStats {
                 shards: self.shards,
+                evaluators: self.evaluators,
                 rows_ingested: output.rows,
                 ring_high_water: output.high_water,
                 ring_capacity: self.ring_capacity,
-                windows_evaluated,
+                windows_evaluated: reorder.published,
+                max_pending_windows: self.depth.max_pending(),
+                window_lags: reorder.window_lags,
             },
         })
     }

@@ -300,6 +300,55 @@ proptest! {
         prop_assert_eq!(stats.solves, 6);
         prop_assert_eq!(stats.warm_hits + stats.fallbacks, 5, "{:?}", stats);
     }
+
+    #[test]
+    fn chained_grid_ladder_matches_unchained_within_contract(
+        seed in 0u64..10_000,
+        links in 2usize..8,
+    ) {
+        // A random fraction ladder through the grid pipeline's chained
+        // entry point: link k cleans the first k·(rows/links) rows of a
+        // random dirty cloud toward a fixed target, every link scored on
+        // ONE warm arena. The occupied-cell sets drift link to link —
+        // the chain frame re-anchors or rebuilds as needed — and every
+        // chained result must stay within the warm objective contract of
+        // the bit-exact unchained pipeline.
+        use statistical_distortion::emd::{GridEmd, PatchedCloud, SignatureCache};
+
+        let rows = 60usize;
+        let base = kernel_cloud(seed, rows);
+        let target = kernel_cloud(seed ^ 0x00C1_EA17, rows);
+        let cache = SignatureCache::new(base.clone());
+        let g = GridEmd::new(7);
+        let mut arena = BatchTransport::new();
+        for link in 1..=links {
+            let cleaned = (rows * link / links).max(1);
+            let edits: Vec<(usize, Vec<f64>)> = target
+                .iter()
+                .take(cleaned)
+                .cloned()
+                .enumerate()
+                .collect();
+            let patched = PatchedCloud::new(&cache, edits);
+            let cold = g.distance_patched(&patched);
+            let warm = g.distance_patched_with(&patched, &mut arena);
+            match (cold, warm) {
+                (Ok(c), Ok(w)) => {
+                    prop_assert_eq!(c.solver, w.solver, "link {}", link);
+                    prop_assert!(
+                        (w.emd - c.emd).abs() <= 1e-9 * (1.0 + c.emd.abs()),
+                        "link {}: chained {} vs cold {}", link, w.emd, c.emd
+                    );
+                }
+                (Err(_), Err(_)) => {} // both paths reject (e.g. all-NaN edits)
+                (cold, warm) => prop_assert!(
+                    false,
+                    "link {}: one path failed, the other did not ({:?} vs {:?})",
+                    link, cold, warm
+                ),
+            }
+        }
+    }
 }
 
 /// Builds a random cleaning scenario: correlated two-attribute telemetry
@@ -561,5 +610,81 @@ proptest! {
             prop_assert_eq!(&x.cleaning, &y.cleaning);
         }
         prop_assert!(report.stats().ring_high_water <= report.stats().ring_capacity);
+    }
+
+    /// The pipelined collector under adversarial scheduling: random
+    /// per-window evaluation latencies scramble completion order inside
+    /// pools of 1, 2 and 4 workers across shard counts, yet the live feed
+    /// publishes strictly in window order and the report stays
+    /// bit-identical to the pool-size-1 reference.
+    #[test]
+    fn pipelined_publication_is_in_order_and_pool_invariant(
+        jitter_seed in 0u64..100_000,
+        pool_choice in 0usize..3,
+        shard_choice in 0usize..4,
+    ) {
+        use statistical_distortion::core::WindowedConfig;
+        use statistical_distortion::prelude::*;
+        use std::sync::OnceLock;
+
+        static REFERENCE: OnceLock<(Dataset, StreamReport)> = OnceLock::new();
+        let (data, reference) = REFERENCE.get_or_init(|| {
+            let data = generate(&NetsimConfig::small(23)).dataset;
+            let config = WindowedConfig::paper_default(20, 15, 23);
+            let attributes = data.attributes().iter().map(|a| a.name.clone()).collect();
+            let serve = ServeConfig::new(config, attributes)
+                .with_shards(1)
+                .with_evaluators(1);
+            let nodes = data.series().iter().map(|s| s.node()).collect();
+            let service = StreamingService::launch(serve, nodes, vec![paper_strategy(2)])
+                .expect("reference launch");
+            for row in stream_rows(&data) {
+                service.ingest(row).expect("reference ingest");
+            }
+            let report = service.finish().expect("reference finish");
+            (data, report)
+        });
+
+        let evaluators = [1, 2, 4][pool_choice];
+        let shards = [1, 2, 4, 8][shard_choice];
+        let config = WindowedConfig::paper_default(20, 15, 23);
+        let attributes = data.attributes().iter().map(|a| a.name.clone()).collect();
+        let serve = ServeConfig::new(config, attributes)
+            .with_shards(shards)
+            .with_evaluators(evaluators)
+            .with_evaluation_jitter(jitter_seed, 800);
+        let nodes = data.series().iter().map(|s| s.node()).collect();
+        let service = StreamingService::launch(serve, nodes, vec![paper_strategy(2)])
+            .expect("launch");
+        let mut live = Vec::new();
+        for row in stream_rows(data) {
+            service.ingest(row).expect("ingest");
+            while let Some(update) = service.try_next_window() {
+                live.push(update.window_index);
+            }
+        }
+        while let Some(update) = service.try_next_window() {
+            live.push(update.window_index);
+        }
+        let report = service.finish().expect("finish");
+
+        // Whatever completion order the jitter forced, publication is
+        // strictly window 0, 1, 2, … — live feed and lag log alike.
+        prop_assert_eq!(&live[..], &(0..live.len()).collect::<Vec<_>>()[..]);
+        for (i, lag) in report.stats().window_lags.iter().enumerate() {
+            prop_assert_eq!(lag.window_index, i);
+        }
+        prop_assert_eq!(report.screens(), reference.screens());
+        prop_assert_eq!(report.outcomes().len(), reference.outcomes().len());
+        for (x, y) in reference.outcomes().iter().zip(report.outcomes()) {
+            prop_assert_eq!(x.improvement.to_bits(), y.improvement.to_bits(),
+                "improvement, window {}", x.window_index);
+            prop_assert_eq!(x.distortion.to_bits(), y.distortion.to_bits(),
+                "distortion, window {}", x.window_index);
+        }
+        prop_assert!(
+            report.stats().max_pending_windows <= 2 * evaluators + 1,
+            "depth {} with {} evaluators", report.stats().max_pending_windows, evaluators
+        );
     }
 }
